@@ -1,0 +1,270 @@
+(* slc — safety/liveness classifier.
+
+   Command-line front end for the library: classify and decompose LTL
+   properties (Section 2 of the paper), regenerate the example tables
+   (Sections 2.3 and 4.3), run the exhaustive lattice theorem checks
+   (Section 3), and export the paper's Hasse diagrams. *)
+
+open Cmdliner
+
+module Formula = Sl_ltl.Formula
+module Examples = Sl_ltl.Examples
+module Translate = Sl_ltl.Translate
+module Buchi = Sl_buchi.Buchi
+module Decompose = Sl_buchi.Decompose
+module Lattice = Sl_lattice.Lattice
+module Named = Sl_lattice.Named
+module Closure = Sl_lattice.Closure
+module Finite_check = Sl_core.Finite_check
+
+let formula_arg =
+  let doc = "LTL formula over the proposition 'a' (e.g. \"a & F !a\")." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"FORMULA" ~doc)
+
+let parse_formula s =
+  match Formula.parse s with
+  | Ok f -> Ok f
+  | Error e -> Error (`Msg ("parse error: " ^ e))
+
+let classify_cmd =
+  let run s =
+    match parse_formula s with
+    | Error (`Msg m) -> prerr_endline m; 1
+    | Ok f ->
+        let cls = Examples.classify f in
+        Format.printf "%s: %s@." (Formula.to_string f)
+          (Decompose.classification_to_string cls);
+        0
+  in
+  Cmd.v
+    (Cmd.info "classify" ~doc:"Classify an LTL property as safety/liveness")
+    Term.(const run $ formula_arg)
+
+let decompose_cmd =
+  let run s =
+    match parse_formula s with
+    | Error (`Msg m) -> prerr_endline m; 1
+    | Ok f ->
+        let b = Examples.automaton f in
+        let d = Decompose.decompose b in
+        Format.printf "property: %s@." (Formula.to_string f);
+        Format.printf "@.B (translated): %s@.%a@." (Buchi.size_info b)
+          Buchi.pp b;
+        Format.printf "@.B_S = bcl B (safety): %s@.%a@."
+          (Buchi.size_info d.Decompose.safety) Buchi.pp d.Decompose.safety;
+        Format.printf "@.B_L = B ∪ ¬B_S (liveness): %s@.%a@."
+          (Buchi.size_info d.Decompose.liveness)
+          Buchi.pp d.Decompose.liveness;
+        (match Decompose.verify_exact d with
+        | [] -> Format.printf "@.L(B) = L(B_S) ∩ L(B_L): verified@."; 0
+        | fails ->
+            List.iter
+              (fun (c, diag) -> Format.printf "FAILED %s (%s)@." c diag)
+              fails;
+            1)
+  in
+  Cmd.v
+    (Cmd.info "decompose"
+       ~doc:"Decompose an LTL property into safety and liveness automata")
+    Term.(const run $ formula_arg)
+
+let rem_cmd =
+  let run () =
+    Examples.pp_table Format.std_formatter (Examples.table ());
+    0
+  in
+  Cmd.v
+    (Cmd.info "rem-table" ~doc:"Regenerate the Section 2.3 example table")
+    Term.(const run $ const ())
+
+let ctl_cmd =
+  let run () =
+    Sl_ctl.Examples.pp_table Format.std_formatter
+      (Sl_ctl.Examples.table ());
+    0
+  in
+  Cmd.v
+    (Cmd.info "ctl-table" ~doc:"Regenerate the Section 4.3 example table")
+    Term.(const run $ const ())
+
+let lattice_names =
+  [ ("n5", (Named.n5, Named.n5_label)); ("m3", (Named.m3, Named.m3_label));
+    ("bool3", (Named.boolean 3, string_of_int));
+    ("div30", (fst (Named.divisor 30), string_of_int)) ]
+
+let dot_cmd =
+  let name_arg =
+    let doc = "Lattice name: n5, m3, bool3, div30." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"LATTICE" ~doc)
+  in
+  let run name =
+    match List.assoc_opt name lattice_names with
+    | None ->
+        Format.eprintf "unknown lattice %s (try: %s)@." name
+          (String.concat ", " (List.map fst lattice_names));
+        1
+    | Some (l, label) ->
+        print_string (Lattice.to_dot ~label l);
+        0
+  in
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Print a lattice's Hasse diagram in GraphViz form")
+    Term.(const run $ name_arg)
+
+let theorems_cmd =
+  let run () =
+    let ok = ref 0 and failed = ref 0 and skipped = ref [] in
+    List.iter
+      (fun (name, l) ->
+        (* The theorems assume modular complemented lattices; lattices
+           outside the hypotheses are reported as skipped, not failed. *)
+        if Lattice.size l > 8 then skipped := (name ^ " (size)") :: !skipped
+        else if not (Lattice.is_complemented l) then
+          skipped := (name ^ " (not complemented)") :: !skipped
+        else if not (Lattice.is_modular l) then
+          skipped := (name ^ " (not modular)") :: !skipped
+        else begin
+          let reports = Finite_check.check_all_closures l in
+          List.iter
+            (fun (label, r) ->
+              match r with
+              | Ok () -> incr ok
+              | Error e ->
+                  incr failed;
+                  Format.printf "%s/%s: %s@." name label e)
+            reports
+        end)
+      Named.all_small;
+    Format.printf
+      "theorem checks across the lattice corpus: %d groups ok, %d failed@."
+      !ok !failed;
+    Format.printf "outside the hypotheses (skipped): %s@."
+      (String.concat ", " (List.rev !skipped));
+    (* Counterexample lattices behave as the paper says. *)
+    List.iter
+      (fun (what, r) ->
+        Format.printf "%s: %s@." what
+          (match r with Ok () -> "as the paper claims" | Error e -> e))
+      [ ("Figure 1 / Lemma 6", Finite_check.lemma6_fig1 ());
+        ("Figure 2 / Theorem 7", Finite_check.fig2_theorem7_failure ());
+        ("modularity necessity", Finite_check.modularity_is_needed ()) ];
+    if !failed = 0 then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "theorems"
+       ~doc:"Exhaustively check Theorems 2/3/5/6/7 on the lattice corpus")
+    Term.(const run $ const ())
+
+let monitor_cmd =
+  let trace_arg =
+    let doc =
+      "Space-separated symbols (letter indices) of the observed prefix."
+    in
+    Arg.(value & pos_right 0 int [] & info [] ~docv:"SYMBOLS" ~doc)
+  in
+  let run s trace =
+    match parse_formula s with
+    | Error (`Msg m) -> prerr_endline m; 1
+    | Ok f ->
+        let b = Examples.automaton f in
+        let m = Sl_buchi.Monitor.create b in
+        (match Sl_buchi.Monitor.shortest_bad_prefix b with
+        | None ->
+            Format.printf
+              "property is liveness-only: the monitor is vacuous@."
+        | Some bad ->
+            Format.printf "shortest bad prefix: [%s]@."
+              (String.concat "; " (List.map string_of_int bad)));
+        (match Sl_buchi.Monitor.feed m trace with
+        | Sl_buchi.Monitor.Admissible ->
+            Format.printf "trace admissible@.";
+            0
+        | Sl_buchi.Monitor.Violation bad ->
+            Format.printf "VIOLATION at prefix [%s]@."
+              (String.concat "; " (List.map string_of_int bad));
+            1)
+  in
+  Cmd.v
+    (Cmd.info "monitor"
+       ~doc:"Run the runtime monitor of a property's safety part on a trace")
+    Term.(const run $ formula_arg $ trace_arg)
+
+let regex_cmd =
+  let regex_arg =
+    let doc = "An omega-regular expression, e.g. \"(a|b)*(b)^w\"." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"OMEGA" ~doc)
+  in
+  let run s =
+    match Sl_regex.Omega.parse s with
+    | Error e -> prerr_endline ("parse error: " ^ e); 1
+    | Ok o ->
+        let b = Sl_regex.Omega.to_buchi ~alphabet:2 o in
+        Format.printf "omega-regex: %s@." (Sl_regex.Omega.to_string o);
+        Format.printf "buchi automaton: %s@." (Buchi.size_info b);
+        Format.printf "classification: %s@."
+          (Decompose.classification_to_string (Decompose.classify b));
+        0
+  in
+  Cmd.v
+    (Cmd.info "regex"
+       ~doc:"Classify an omega-regular expression over {a, b}")
+    Term.(const run $ regex_arg)
+
+let modelcheck_cmd =
+  let system_arg =
+    let doc = "System: ring3, mutex, peterson, buffer3, philosophers3." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"SYSTEM" ~doc)
+  in
+  let spec_arg =
+    let doc = "LTL specification over the system's propositions." in
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"LTL" ~doc)
+  in
+  let systems =
+    [ ("ring3", fun () -> Sl_kripke.Kripke.token_ring 3);
+      ("mutex", Sl_kripke.Kripke.mutex);
+      ("peterson", Sl_kripke.Kripke.peterson);
+      ("buffer3", fun () -> Sl_kripke.Kripke.bounded_buffer ~capacity:3);
+      ("philosophers3", fun () -> Sl_kripke.Kripke.dining_philosophers 3) ]
+  in
+  let run system spec =
+    match List.assoc_opt system systems with
+    | None ->
+        Format.eprintf "unknown system %s (try: %s)@." system
+          (String.concat ", " (List.map fst systems));
+        1
+    | Some mk -> (
+        match parse_formula spec with
+        | Error (`Msg m) -> prerr_endline m; 1
+        | Ok f ->
+            let k = mk () in
+            let props = Array.to_list k.Sl_kripke.Kripke.ap in
+            let v = Sl_ltl.Semantics.subset_valuation props in
+            let alphabet = 1 lsl List.length props in
+            if alphabet > 1024 then begin
+              Format.eprintf "system alphabet too large@.";
+              1
+            end
+            else begin
+              match Sl_ltl.Modelcheck.check k ~alphabet ~valuation:v f with
+              | Sl_ltl.Modelcheck.Holds ->
+                  Format.printf "HOLDS@.";
+                  0
+              | Sl_ltl.Modelcheck.Fails w ->
+                  Format.printf "FAILS; counterexample %s@."
+                    (Sl_word.Lasso.to_string w);
+                  1
+            end)
+  in
+  Cmd.v
+    (Cmd.info "modelcheck"
+       ~doc:"Check an LTL specification against a built-in system")
+    Term.(const run $ system_arg $ spec_arg)
+
+let () =
+  let doc = "the lattice-theoretic safety/liveness toolbox (PODC 2003)" in
+  let info = Cmd.info "slc" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ classify_cmd; decompose_cmd; rem_cmd; ctl_cmd; dot_cmd;
+            theorems_cmd; monitor_cmd; regex_cmd; modelcheck_cmd ]))

@@ -1,0 +1,1 @@
+examples/buchi_decomposition.ml: Format List Sl_buchi Sl_word

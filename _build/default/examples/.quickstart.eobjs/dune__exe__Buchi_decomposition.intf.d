@@ -1,0 +1,1 @@
+examples/buchi_decomposition.mli:

@@ -1,0 +1,1 @@
+examples/ctl_classification.ml: Format List Sl_ctl Sl_tree

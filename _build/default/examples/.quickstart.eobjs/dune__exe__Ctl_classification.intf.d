@@ -1,0 +1,1 @@
+examples/ctl_classification.mli:

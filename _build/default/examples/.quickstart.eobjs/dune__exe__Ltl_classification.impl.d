@@ -1,0 +1,1 @@
+examples/ltl_classification.ml: Format List Sl_buchi Sl_ltl Sl_word

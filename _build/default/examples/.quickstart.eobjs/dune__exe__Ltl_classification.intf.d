@@ -1,0 +1,1 @@
+examples/ltl_classification.mli:

@@ -1,0 +1,1 @@
+examples/model_checking.ml: Array Format List Sl_ctl Sl_kripke Sl_ltl Sl_word

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format List Sl_buchi Sl_core Sl_lattice Sl_ltl

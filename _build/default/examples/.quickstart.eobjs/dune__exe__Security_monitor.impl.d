@@ -1,0 +1,1 @@
+examples/security_monitor.ml: Array Format List Sl_buchi Sl_nfa Sl_word

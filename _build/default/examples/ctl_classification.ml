@@ -1,0 +1,35 @@
+(* Regenerates the paper's Section 4.3 classification of the branching
+   time examples q0-q6 under the two closures ncl (existential) and fcl
+   (universal), over arbitrary-branching total trees.
+
+   Run with:  dune exec examples/ctl_classification.exe *)
+
+module Examples = Sl_ctl.Examples
+module Tclosure = Sl_tree.Tclosure
+module Ptree = Sl_tree.Ptree
+
+let () =
+  Format.printf
+    "Section 4.3 — branching-time examples over binary-bounded trees@.";
+  Format.printf "(sample: %d total trees with <= 2 presentation states)@.@."
+    (List.length Examples.sample);
+  Examples.pp_table Format.std_formatter (Examples.table ());
+  Format.printf
+    "@.Reading the table against the paper:@.\
+     - q0, q1, q2, q6 are universally (hence existentially) safe;@.\
+     - q3a/q3b are neither safe nor live (their fcl is q1);@.\
+     - q4a, q5a are universally but NOT existentially live — the@.\
+    \  hypothesis of Theorem 5: they cannot be decomposed into a@.\
+    \  universally safe and an existentially live part;@.\
+     - q4b, q5b are existentially (hence universally) live.@.";
+  (* The paper's two-path witness for ncl.q3a <> q1. *)
+  let witness =
+    (* root a; left all-a spine; right all-b spine. *)
+    Ptree.make ~k:2 ~nstates:3 ~root:0 ~label:[| 0; 0; 1 |]
+      ~children:
+        [| [| Some 1; Some 2 |]; [| Some 1; None |]; [| Some 2; None |] |]
+  in
+  Format.printf
+    "@.The paper's witness (two paths, one all-a): in q1 %b, in ncl q3a %b@."
+    (Examples.q1.Tclosure.mem witness)
+    (Tclosure.ncl_mem Examples.q3a ~max_depth:4 witness)

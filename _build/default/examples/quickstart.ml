@@ -1,0 +1,76 @@
+(* Quickstart: the paper's results in five minutes.
+
+   Run with:  dune exec examples/quickstart.exe
+
+   1. Build the two counterexample lattices of Figures 1 and 2 and check
+      their laws.
+   2. Decompose an element of a Boolean algebra into safety and liveness
+      parts (Theorem 2).
+   3. Classify an LTL property and decompose its Büchi automaton
+      (Section 2.4). *)
+
+module Lattice = Sl_lattice.Lattice
+module Named = Sl_lattice.Named
+module Closure = Sl_lattice.Closure
+module Finite_check = Sl_core.Finite_check
+module Formula = Sl_ltl.Formula
+module Examples = Sl_ltl.Examples
+module Decompose = Sl_buchi.Decompose
+
+let section title = Format.printf "@.== %s ==@." title
+
+let () =
+  section "Figure 1: the pentagon N5";
+  Format.printf "modular: %b, complemented: %b@."
+    (Lattice.is_modular Named.n5)
+    (Lattice.is_complemented Named.n5);
+  (match Lattice.contains_pentagon Named.n5 with
+  | Some (z, a, b, c, o) ->
+      Format.printf "pentagon witness: %s < %s < %s, %s, top %s@."
+        (Named.n5_label z) (Named.n5_label a) (Named.n5_label b)
+        (Named.n5_label c) (Named.n5_label o)
+  | None -> assert false);
+  (match Finite_check.lemma6_fig1 () with
+  | Ok () ->
+      Format.printf
+        "Lemma 6 verified: element a of N5 admits no safety/liveness \
+         decomposition under cl(a) = b@."
+  | Error e -> Format.printf "unexpected: %s@." e);
+
+  section "Figure 2: the diamond M3";
+  Format.printf "modular: %b, distributive: %b@."
+    (Lattice.is_modular Named.m3)
+    (Lattice.is_distributive Named.m3);
+  (match Finite_check.fig2_theorem7_failure () with
+  | Ok () ->
+      Format.printf
+        "Theorem 7's conclusion fails on M3 for every closure with \
+         cl(a) = s — distributivity is necessary@."
+  | Error e -> Format.printf "unexpected: %s@." e);
+
+  section "Theorem 2 on the Boolean algebra 2^3";
+  let l = Named.boolean 3 in
+  let cl = Closure.of_closed_set l [ 0b000; 0b001; 0b010 ] in
+  (match Finite_check.check_theorem2 l cl with
+  | Ok () ->
+      Format.printf
+        "every element of 2^3 = safety ∧ liveness under a non-topological \
+         closure (cl does not preserve joins)@."
+  | Error e -> Format.printf "unexpected: %s@." e);
+
+  section "The linear-time framework (Section 2)";
+  let f = Formula.parse_exn "a & F !a" in
+  Format.printf "property p3 = %s@." (Formula.to_string f);
+  Format.printf "classification: %s@."
+    (Decompose.classification_to_string (Examples.classify f));
+  let d = Decompose.decompose (Examples.automaton f) in
+  Format.printf "safety part (bcl): %s@."
+    (Sl_buchi.Buchi.size_info d.Decompose.safety);
+  Format.printf "liveness part (B ∪ ¬bcl B): %s@."
+    (Sl_buchi.Buchi.size_info d.Decompose.liveness);
+  Format.printf "decomposition verified: %b@."
+    (Decompose.verify_exact d = []);
+  Format.printf "@.Run the other examples for the full paper tables:@.";
+  List.iter (Format.printf "  dune exec examples/%s.exe@.")
+    [ "ltl_classification"; "buchi_decomposition"; "ctl_classification";
+      "security_monitor" ]

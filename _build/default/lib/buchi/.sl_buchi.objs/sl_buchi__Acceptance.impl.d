@@ -1,0 +1,1 @@
+lib/buchi/acceptance.ml: Array Buchi Format Fun List Ops Printf Sl_word

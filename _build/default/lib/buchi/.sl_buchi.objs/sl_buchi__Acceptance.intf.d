@@ -1,0 +1,1 @@
+lib/buchi/acceptance.mli: Buchi Format Sl_word

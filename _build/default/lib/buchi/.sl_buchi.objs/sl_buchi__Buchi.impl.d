@@ -1,0 +1,1 @@
+lib/buchi/buchi.ml: Array Format Fun Hashtbl List Option Printf Queue Random Sl_nfa Sl_word

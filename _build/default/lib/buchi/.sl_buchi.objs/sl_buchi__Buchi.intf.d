@@ -1,0 +1,1 @@
+lib/buchi/buchi.mli: Format Sl_nfa Sl_word

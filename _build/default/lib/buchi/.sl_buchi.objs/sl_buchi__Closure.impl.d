@@ -1,0 +1,1 @@
+lib/buchi/closure.ml: Array Buchi List

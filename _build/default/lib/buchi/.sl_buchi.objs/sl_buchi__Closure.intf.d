@@ -1,0 +1,1 @@
+lib/buchi/closure.mli: Buchi

@@ -1,0 +1,1 @@
+lib/buchi/complement.ml: Array Buchi Closure Fun Hashtbl List Map Printf Queue Sl_nfa Stdlib

@@ -1,0 +1,1 @@
+lib/buchi/complement.mli: Buchi

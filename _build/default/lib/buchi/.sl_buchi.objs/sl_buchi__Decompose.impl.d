@@ -1,0 +1,1 @@
+lib/buchi/decompose.ml: Buchi Closure Complement Format Lang List Ops Printf Sl_core Sl_word

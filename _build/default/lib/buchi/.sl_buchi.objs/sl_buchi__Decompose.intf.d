@@ -1,0 +1,1 @@
+lib/buchi/decompose.mli: Buchi Sl_core

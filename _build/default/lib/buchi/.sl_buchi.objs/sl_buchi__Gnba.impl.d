@@ -1,0 +1,1 @@
+lib/buchi/gnba.ml: Array Buchi Format List Sl_word String

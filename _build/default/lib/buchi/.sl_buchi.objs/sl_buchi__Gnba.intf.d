@@ -1,0 +1,1 @@
+lib/buchi/gnba.mli: Buchi Format Sl_word

@@ -1,0 +1,1 @@
+lib/buchi/hierarchy.ml: Array Buchi Closure List

@@ -1,0 +1,1 @@
+lib/buchi/hierarchy.mli: Buchi

@@ -1,0 +1,1 @@
+lib/buchi/lang.ml: Buchi Closure Complement List Ops Sl_word

@@ -1,0 +1,1 @@
+lib/buchi/lang.mli: Buchi Sl_word

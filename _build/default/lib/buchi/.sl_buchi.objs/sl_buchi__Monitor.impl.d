@@ -1,0 +1,1 @@
+lib/buchi/monitor.ml: Array Buchi Closure List Sl_nfa

@@ -1,0 +1,1 @@
+lib/buchi/monitor.mli: Buchi

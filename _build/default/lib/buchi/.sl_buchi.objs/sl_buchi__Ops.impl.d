@@ -1,0 +1,1 @@
+lib/buchi/ops.ml: Array Buchi List

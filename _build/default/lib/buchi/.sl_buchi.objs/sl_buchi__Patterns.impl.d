@@ -1,0 +1,1 @@
+lib/buchi/patterns.ml: Buchi Sl_word

@@ -1,0 +1,1 @@
+lib/buchi/patterns.mli: Buchi Sl_word

@@ -1,0 +1,1 @@
+lib/buchi/simulation.ml: Array Buchi Fun List

@@ -1,0 +1,1 @@
+lib/buchi/simulation.mli: Buchi

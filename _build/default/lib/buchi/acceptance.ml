@@ -1,0 +1,270 @@
+module Lasso = Sl_word.Lasso
+
+type condition =
+  | Rabin of (bool array * bool array) list
+  | Streett of (bool array * bool array) list
+  | Parity of int array
+  | Muller of bool array list
+
+type t = {
+  alphabet : int;
+  nstates : int;
+  start : int;
+  delta : int list array array;
+  condition : condition;
+}
+
+let make ~alphabet ~nstates ~start ~delta ~condition =
+  (* Shape-check through the Büchi validator. *)
+  ignore
+    (Buchi.make ~alphabet ~nstates ~start ~delta
+       ~accepting:(Array.make nstates false));
+  (match condition with
+  | Rabin pairs | Streett pairs ->
+      List.iter
+        (fun (g, r) ->
+          if Array.length g <> nstates || Array.length r <> nstates then
+            invalid_arg "Acceptance.make: pair shape")
+        pairs
+  | Parity priorities ->
+      if Array.length priorities <> nstates then
+        invalid_arg "Acceptance.make: priority shape";
+      Array.iter
+        (fun p -> if p < 0 then invalid_arg "Acceptance.make: priority < 0")
+        priorities
+  | Muller sets ->
+      List.iter
+        (fun set ->
+          if Array.length set <> nstates then
+            invalid_arg "Acceptance.make: Muller set shape")
+        sets);
+  { alphabet; nstates; start; delta; condition }
+
+let of_buchi (b : Buchi.t) =
+  make ~alphabet:b.alphabet ~nstates:b.nstates ~start:b.start ~delta:b.delta
+    ~condition:
+      (Rabin [ (Array.copy b.accepting, Array.make b.nstates false) ])
+
+(* --- The automaton × lasso product as an explicit graph. --- *)
+
+type product = {
+  nnodes : int;
+  succs : int -> int list;
+  node_state : int -> int;  (** automaton state of a product node *)
+  reach : bool array;  (** reachable from (start, 0) *)
+}
+
+let product a w =
+  let sp = Lasso.spoke w and pe = Lasso.period w in
+  let total = sp + pe in
+  let next p = if p + 1 < total then p + 1 else sp in
+  let node q p = (q * total) + p in
+  let succs v =
+    let q = v / total and p = v mod total in
+    List.map (fun q' -> node q' (next p)) a.delta.(q).(Lasso.at w p)
+  in
+  let nnodes = a.nstates * total in
+  let reach = Array.make nnodes false in
+  let rec visit v =
+    if not reach.(v) then begin
+      reach.(v) <- true;
+      List.iter visit (succs v)
+    end
+  in
+  visit (node a.start 0);
+  { nnodes; succs; node_state = (fun v -> v / total); reach }
+
+(* Reachable nontrivial SCCs of the product restricted to [keep]-nodes. *)
+let sccs_within pr keep =
+  let index = Array.make pr.nnodes (-1) in
+  let lowlink = Array.make pr.nnodes 0 in
+  let on_stack = Array.make pr.nnodes false in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let comps = ref [] in
+  let ok v = pr.reach.(v) && keep v in
+  let succs v = List.filter ok (pr.succs v) in
+  let rec strongconnect v =
+    index.(v) <- !counter;
+    lowlink.(v) <- !counter;
+    incr counter;
+    stack := v :: !stack;
+    on_stack.(v) <- true;
+    List.iter
+      (fun w ->
+        if index.(w) = -1 then begin
+          strongconnect w;
+          lowlink.(v) <- min lowlink.(v) lowlink.(w)
+        end
+        else if on_stack.(w) then lowlink.(v) <- min lowlink.(v) index.(w))
+      (succs v);
+    if lowlink.(v) = index.(v) then begin
+      let members = ref [] in
+      let brk = ref false in
+      while not !brk do
+        match !stack with
+        | [] -> brk := true
+        | w :: rest ->
+            stack := rest;
+            on_stack.(w) <- false;
+            members := w :: !members;
+            if w = v then brk := true
+      done;
+      let ms = !members in
+      let nontrivial =
+        match ms with
+        | [ single ] -> List.mem single (succs single)
+        | _ -> List.length ms > 1
+      in
+      if nontrivial then comps := ms :: !comps
+    end
+  in
+  for v = 0 to pr.nnodes - 1 do
+    if ok v && index.(v) = -1 then strongconnect v
+  done;
+  !comps
+
+let projection pr nodes =
+  List.sort_uniq compare (List.map pr.node_state nodes)
+
+let accepts_rabin pr pairs =
+  List.exists
+    (fun (green, red) ->
+      (* A reachable cycle avoiding red and meeting green. *)
+      List.exists
+        (fun comp -> List.exists (fun v -> green.(pr.node_state v)) comp)
+        (sccs_within pr (fun v -> not red.(pr.node_state v))))
+    pairs
+
+(* Streett: SCC peeling — remove the greens of pairs whose reds are absent
+   and recurse; a surviving nontrivial component satisfies all pairs. *)
+let accepts_streett pr pairs =
+  let rec satisfiable nodes =
+    (* Sub-SCCs of the induced subgraph. *)
+    let keep = Array.make pr.nnodes false in
+    List.iter (fun v -> keep.(v) <- true) nodes;
+    let comps = sccs_within pr (fun v -> keep.(v)) in
+    List.exists
+      (fun comp ->
+        let states = projection pr comp in
+        let offending =
+          List.filter
+            (fun (green, red) ->
+              List.exists (fun q -> green.(q)) states
+              && not (List.exists (fun q -> red.(q)) states))
+            pairs
+        in
+        if offending = [] then true
+        else begin
+          let shrunk =
+            List.filter
+              (fun v ->
+                not
+                  (List.exists
+                     (fun (green, _) -> green.(pr.node_state v))
+                     offending))
+              comp
+          in
+          if List.length shrunk = List.length comp then false
+          else satisfiable shrunk
+        end)
+      comps
+  in
+  satisfiable
+    (List.filter (fun v -> pr.reach.(v))
+       (List.init pr.nnodes (fun v -> v)))
+
+let accepts_parity pr priorities =
+  let evens =
+    List.sort_uniq compare
+      (List.filter (fun p -> p mod 2 = 0) (Array.to_list priorities))
+  in
+  List.exists
+    (fun d ->
+      List.exists
+        (fun comp ->
+          List.exists (fun v -> priorities.(pr.node_state v) = d) comp)
+        (sccs_within pr (fun v -> priorities.(pr.node_state v) >= d)))
+    evens
+
+let accepts_muller pr sets =
+  List.exists
+    (fun set ->
+      let target =
+        List.sort_uniq compare
+          (List.filteri (fun _ _ -> true)
+             (List.init (Array.length set) Fun.id))
+        |> List.filter (fun q -> set.(q))
+      in
+      target <> []
+      && List.exists
+           (fun comp ->
+             (* The SCC lies inside the set; it must cover it. *)
+             projection pr comp = target)
+           (sccs_within pr (fun v -> set.(pr.node_state v))))
+    sets
+
+let accepts_lasso a w =
+  let pr = product a w in
+  match a.condition with
+  | Rabin pairs -> accepts_rabin pr pairs
+  | Streett pairs -> accepts_streett pr pairs
+  | Parity priorities -> accepts_parity pr priorities
+  | Muller sets -> accepts_muller pr sets
+
+(* --- Translations --- *)
+
+let rabin_pair_to_buchi a (green, red) =
+  (* Original copy (never accepting) + a red-free copy entered by a
+     nondeterministic jump; acceptance is green inside the copy. *)
+  let n = a.nstates in
+  let copy q = n + q in
+  let nstates = 2 * n in
+  let delta = Array.make_matrix nstates a.alphabet [] in
+  for q = 0 to n - 1 do
+    for s = 0 to a.alphabet - 1 do
+      let succs = a.delta.(q).(s) in
+      let red_free = List.filter (fun q' -> not red.(q')) succs in
+      delta.(q).(s) <- succs @ List.map copy red_free;
+      if not red.(q) then delta.(copy q).(s) <- List.map copy red_free
+    done
+  done;
+  let accepting =
+    Array.init nstates (fun v -> v >= n && green.(v - n))
+  in
+  Buchi.make ~alphabet:a.alphabet ~nstates ~start:a.start ~delta ~accepting
+
+let rabin_to_buchi a =
+  match a.condition with
+  | Rabin pairs ->
+      Ops.union_list ~alphabet:a.alphabet
+        (List.map (rabin_pair_to_buchi a) pairs)
+  | _ -> invalid_arg "Acceptance.rabin_to_buchi: not a Rabin condition"
+
+let parity_to_buchi a =
+  match a.condition with
+  | Parity priorities ->
+      let evens =
+        List.sort_uniq compare
+          (List.filter (fun p -> p mod 2 = 0) (Array.to_list priorities))
+      in
+      let pairs =
+        List.map
+          (fun d ->
+            ( Array.map (fun p -> p = d) priorities,
+              Array.map (fun p -> p < d) priorities ))
+          evens
+      in
+      rabin_to_buchi { a with condition = Rabin pairs }
+  | _ -> invalid_arg "Acceptance.parity_to_buchi: not a parity condition"
+
+let pp fmt a =
+  let kind =
+    match a.condition with
+    | Rabin ps -> Printf.sprintf "rabin(%d pairs)" (List.length ps)
+    | Streett ps -> Printf.sprintf "streett(%d pairs)" (List.length ps)
+    | Parity _ -> "parity"
+    | Muller sets -> Printf.sprintf "muller(%d sets)" (List.length sets)
+  in
+  Format.fprintf fmt "omega-word automaton [%s], %d states, start %d" kind
+    a.nstates a.start

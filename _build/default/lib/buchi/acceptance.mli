@@ -1,0 +1,56 @@
+module Lasso = Sl_word.Lasso
+
+(** ω-word automata under the classical acceptance conditions beyond
+    Büchi: Rabin, Streett, parity, and Muller.
+
+    The paper's Section 4.4 uses the Rabin condition on trees; on words
+    the same conditions form the standard expressiveness ladder, and all
+    of them define exactly the ω-regular languages. This module provides:
+
+    - direct lasso membership for each condition, by cycle analysis of the
+      automaton × lasso product (a run's infinity set is the support of a
+      closed walk, so each condition reduces to a polynomial search —
+      Streett through the same SCC-peeling recursion as the tree case);
+    - the textbook translations [rabin_to_buchi] and [parity_to_buchi],
+      validated per-lasso against the direct semantics.
+
+    The transition structure is shared with {!Buchi.t}. *)
+
+type condition =
+  | Rabin of (bool array * bool array) list
+      (** some pair: green infinitely often ∧ red finitely often *)
+  | Streett of (bool array * bool array) list
+      (** every pair: green infinitely often → red infinitely often *)
+  | Parity of int array
+      (** the least priority seen infinitely often is even *)
+  | Muller of bool array list
+      (** the infinity set is exactly one of the listed sets *)
+
+type t = {
+  alphabet : int;
+  nstates : int;
+  start : int;
+  delta : int list array array;
+  condition : condition;
+}
+
+val make :
+  alphabet:int -> nstates:int -> start:int -> delta:int list array array ->
+  condition:condition -> t
+
+val of_buchi : Buchi.t -> t
+(** As a one-pair Rabin automaton. *)
+
+val accepts_lasso : t -> Lasso.t -> bool
+
+val rabin_to_buchi : t -> Buchi.t
+(** For each pair [(G, R)], a copy of the automaton restricted to
+    [Q \ R] with acceptance [G], entered by a nondeterministic jump
+    (guessing the point after which red states never recur); the results
+    are unioned. Language-preserving. @raise Invalid_argument on other
+    conditions. *)
+
+val parity_to_buchi : t -> Buchi.t
+(** Via the standard parity→Rabin chain. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,356 @@
+module Lasso = Sl_word.Lasso
+
+type t = {
+  alphabet : int;
+  nstates : int;
+  start : int;
+  delta : int list array array;
+  accepting : bool array;
+}
+
+let make ~alphabet ~nstates ~start ~delta ~accepting =
+  if alphabet < 1 then invalid_arg "Buchi.make: empty alphabet";
+  if nstates < 1 then invalid_arg "Buchi.make: need at least one state";
+  if start < 0 || start >= nstates then invalid_arg "Buchi.make: bad start";
+  if Array.length delta <> nstates || Array.length accepting <> nstates then
+    invalid_arg "Buchi.make: shape mismatch";
+  Array.iter
+    (fun row ->
+      if Array.length row <> alphabet then invalid_arg "Buchi.make: row shape";
+      Array.iter
+        (List.iter (fun q ->
+             if q < 0 || q >= nstates then
+               invalid_arg "Buchi.make: successor out of range"))
+        row)
+    delta;
+  { alphabet; nstates; start; delta; accepting }
+
+let of_edges ~alphabet ~nstates ~start ~edges ~accepting =
+  let delta = Array.make_matrix nstates alphabet [] in
+  List.iter
+    (fun (q, s, q') ->
+      if q < 0 || q >= nstates || s < 0 || s >= alphabet then
+        invalid_arg "Buchi.of_edges: edge out of range";
+      delta.(q).(s) <- q' :: delta.(q).(s))
+    edges;
+  Array.iter
+    (fun row -> Array.iteri (fun s l -> row.(s) <- List.sort_uniq compare l) row)
+    delta;
+  let acc = Array.make nstates false in
+  List.iter (fun q -> acc.(q) <- true) accepting;
+  make ~alphabet ~nstates ~start ~delta ~accepting:acc
+
+let empty_language ~alphabet =
+  make ~alphabet ~nstates:1 ~start:0
+    ~delta:(Array.make_matrix 1 alphabet [])
+    ~accepting:[| false |]
+
+let universal ~alphabet =
+  make ~alphabet ~nstates:1 ~start:0
+    ~delta:(Array.init 1 (fun _ -> Array.make alphabet [ 0 ]))
+    ~accepting:[| true |]
+
+let successors_all b q =
+  Array.fold_left (fun acc l -> List.rev_append l acc) [] b.delta.(q)
+  |> List.sort_uniq compare
+
+let reachable b =
+  let seen = Array.make b.nstates false in
+  let rec visit q =
+    if not seen.(q) then begin
+      seen.(q) <- true;
+      List.iter visit (successors_all b q)
+    end
+  in
+  visit b.start;
+  seen
+
+(* Iterative Tarjan SCC. *)
+let sccs b =
+  let n = b.nstates in
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let comp = Array.make n (-1) in
+  let comps = ref [] in
+  let ncomp = ref 0 in
+  let rec strongconnect v =
+    index.(v) <- !counter;
+    lowlink.(v) <- !counter;
+    incr counter;
+    stack := v :: !stack;
+    on_stack.(v) <- true;
+    List.iter
+      (fun w ->
+        if index.(w) = -1 then begin
+          strongconnect w;
+          lowlink.(v) <- min lowlink.(v) lowlink.(w)
+        end
+        else if on_stack.(w) then lowlink.(v) <- min lowlink.(v) index.(w))
+      (successors_all b v);
+    if lowlink.(v) = index.(v) then begin
+      let members = ref [] in
+      let continue_ = ref true in
+      while !continue_ do
+        match !stack with
+        | [] -> continue_ := false
+        | w :: rest ->
+            stack := rest;
+            on_stack.(w) <- false;
+            comp.(w) <- !ncomp;
+            members := w :: !members;
+            if w = v then continue_ := false
+      done;
+      comps := !members :: !comps;
+      incr ncomp
+    end
+  in
+  for v = 0 to n - 1 do
+    if index.(v) = -1 then strongconnect v
+  done;
+  (comp, !comps)
+
+let on_cycle b =
+  let comp, comps = sccs b in
+  let comp_size = Array.make (List.length comps) 0 in
+  List.iteri (fun _ members ->
+      List.iter (fun q -> comp_size.(comp.(q)) <- comp_size.(comp.(q)) + 1)
+        members)
+    comps;
+  Array.init b.nstates (fun q ->
+      comp_size.(comp.(q)) > 1 || List.mem q (successors_all b q))
+
+let live_states b =
+  let cyc = on_cycle b in
+  (* Live: can reach an accepting state on a cycle. Backwards fixpoint. *)
+  let live = Array.init b.nstates (fun q -> b.accepting.(q) && cyc.(q)) in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for q = 0 to b.nstates - 1 do
+      if
+        (not live.(q))
+        && List.exists (fun q' -> live.(q')) (successors_all b q)
+      then begin
+        live.(q) <- true;
+        changed := true
+      end
+    done
+  done;
+  live
+
+let restrict b keep =
+  if not keep.(b.start) then empty_language ~alphabet:b.alphabet
+  else begin
+    let remap = Array.make b.nstates (-1) in
+    let count = ref 0 in
+    Array.iteri
+      (fun q k ->
+        if k then begin
+          remap.(q) <- !count;
+          incr count
+        end)
+      keep;
+    let nstates = !count in
+    let delta = Array.make_matrix nstates b.alphabet [] in
+    let accepting = Array.make nstates false in
+    Array.iteri
+      (fun q k ->
+        if k then begin
+          accepting.(remap.(q)) <- b.accepting.(q);
+          Array.iteri
+            (fun s succs ->
+              delta.(remap.(q)).(s) <-
+                List.filter_map
+                  (fun q' -> if keep.(q') then Some remap.(q') else None)
+                  succs)
+            b.delta.(q)
+        end)
+      keep;
+    make ~alphabet:b.alphabet ~nstates ~start:remap.(b.start) ~delta
+      ~accepting
+  end
+
+let trim_live b =
+  let reach = reachable b and live = live_states b in
+  restrict b (Array.init b.nstates (fun q -> reach.(q) && live.(q)))
+
+let is_empty b =
+  let reach = reachable b and live = live_states b in
+  not (reach.(b.start) && live.(b.start))
+
+(* BFS shortest path in the labeled graph from [src] to any state in
+   [targets]; returns the word and the state reached. [min_steps] forces at
+   least that many transitions (used to find nonempty cycles). *)
+let bfs_word b ~src ~targets ~min_steps =
+  let n = b.nstates in
+  (* Layer 0 is src with 0 steps; track (state, steps>=min as flag). *)
+  let seen = Array.make_matrix n 2 false in
+  let parent = Hashtbl.create 16 in
+  let queue = Queue.create () in
+  let flag0 = if min_steps = 0 then 1 else 0 in
+  seen.(src).(flag0) <- true;
+  Queue.push (src, flag0) queue;
+  let result = ref None in
+  while !result = None && not (Queue.is_empty queue) do
+    let q, f = Queue.pop queue in
+    if f = 1 && targets q then result := Some q
+    else
+      (* After one or more steps the min-step obligation (0 or 1 here) is
+         met, so successors always carry flag 1. *)
+      Array.iteri
+        (fun s succs ->
+          List.iter
+            (fun q' ->
+              if not seen.(q').(1) then begin
+                seen.(q').(1) <- true;
+                Hashtbl.replace parent (q', 1) (q, f, s);
+                Queue.push (q', 1) queue
+              end)
+            succs)
+        b.delta.(q)
+  done;
+  Option.map
+    (fun target ->
+      let rec unwind node acc =
+        match Hashtbl.find_opt parent node with
+        | None -> acc
+        | Some (p, pf, s) -> unwind (p, pf) (s :: acc)
+      in
+      (unwind (target, 1) [], target))
+    !result
+
+let nonempty_witness b =
+  let reach = reachable b in
+  let cyc = on_cycle b in
+  let good q = reach.(q) && b.accepting.(q) && cyc.(q) in
+  match bfs_word b ~src:b.start ~targets:good ~min_steps:0 with
+  | None -> None
+  | Some (spoke_word, f) -> (
+      match bfs_word b ~src:f ~targets:(fun q -> q = f) ~min_steps:1 with
+      | None -> None (* impossible: f is on a cycle *)
+      | Some (cycle_word, _) ->
+          Some (Lasso.make ~prefix:spoke_word ~cycle:cycle_word))
+
+let accepts_lasso b w =
+  let sp = Lasso.spoke w and pe = Lasso.period w in
+  let total = sp + pe in
+  let next p = if p + 1 < total then p + 1 else sp in
+  (* Product graph over (state, position); find a reachable accepting
+     product-cycle. A cycle in the product necessarily lives in the
+     periodic positions, so detect: reachable (q, p) with q accepting that
+     can return to itself. *)
+  let n = b.nstates in
+  let node q p = (q * total) + p in
+  let nn = n * total in
+  let succs = Array.make nn [] in
+  for q = 0 to n - 1 do
+    for p = 0 to total - 1 do
+      let letter = Lasso.at w p in
+      succs.(node q p) <-
+        List.map (fun q' -> node q' (next p)) b.delta.(q).(letter)
+    done
+  done;
+  (* Reachability from (start, 0). *)
+  let seen = Array.make nn false in
+  let rec visit v =
+    if not seen.(v) then begin
+      seen.(v) <- true;
+      List.iter visit succs.(v)
+    end
+  in
+  visit (node b.start 0);
+  (* SCCs of the product restricted to reachable nodes. *)
+  let index = Array.make nn (-1) in
+  let lowlink = Array.make nn 0 in
+  let on_stack = Array.make nn false in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let found = ref false in
+  let rec strongconnect v =
+    index.(v) <- !counter;
+    lowlink.(v) <- !counter;
+    incr counter;
+    stack := v :: !stack;
+    on_stack.(v) <- true;
+    List.iter
+      (fun w' ->
+        if seen.(w') then
+          if index.(w') = -1 then begin
+            strongconnect w';
+            lowlink.(v) <- min lowlink.(v) lowlink.(w')
+          end
+          else if on_stack.(w') then lowlink.(v) <- min lowlink.(v) index.(w'))
+      succs.(v);
+    if lowlink.(v) = index.(v) then begin
+      let members = ref [] in
+      let continue_ = ref true in
+      while !continue_ do
+        match !stack with
+        | [] -> continue_ := false
+        | w' :: rest ->
+            stack := rest;
+            on_stack.(w') <- false;
+            members := w' :: !members;
+            if w' = v then continue_ := false
+      done;
+      let ms = !members in
+      let nontrivial =
+        match ms with
+        | [ single ] -> List.mem single succs.(single)
+        | _ -> List.length ms > 1
+      in
+      if nontrivial && List.exists (fun v' -> b.accepting.(v' / total)) ms
+      then found := true
+    end
+  in
+  for v = 0 to nn - 1 do
+    if seen.(v) && index.(v) = -1 then strongconnect v
+  done;
+  !found
+
+let to_prefix_nfa b =
+  Sl_nfa.Nfa.make ~alphabet:b.alphabet ~nstates:b.nstates ~starts:[ b.start ]
+    ~delta:(Array.map Array.copy b.delta)
+    ~accepting:(Array.make b.nstates true)
+
+let rename_start b q =
+  if q < 0 || q >= b.nstates then invalid_arg "Buchi.rename_start";
+  { b with start = q }
+
+let size_info b =
+  let m =
+    Array.fold_left
+      (fun acc row -> Array.fold_left (fun a l -> a + List.length l) acc row)
+      0 b.delta
+  in
+  Printf.sprintf "%d states, %d transitions" b.nstates m
+
+let pp fmt b =
+  Format.fprintf fmt "@[<v>buchi(%d states, start %d)@," b.nstates b.start;
+  for q = 0 to b.nstates - 1 do
+    Format.fprintf fmt "  %d%s:" q (if b.accepting.(q) then "*" else "");
+    Array.iteri
+      (fun s succs ->
+        List.iter (fun q' -> Format.fprintf fmt " %d->%d" s q') succs)
+      b.delta.(q);
+    Format.fprintf fmt "@,"
+  done;
+  Format.fprintf fmt "@]"
+
+let random ?(seed = 42) ~alphabet ~nstates ~density ~accepting_fraction () =
+  let st = Random.State.make [| seed |] in
+  let delta =
+    Array.init nstates (fun _ ->
+        Array.init alphabet (fun _ ->
+            List.filter
+              (fun _ -> Random.State.float st 1.0 < density)
+              (List.init nstates Fun.id)))
+  in
+  let accepting =
+    Array.init nstates (fun _ ->
+        Random.State.float st 1.0 < accepting_fraction)
+  in
+  make ~alphabet ~nstates ~start:0 ~delta ~accepting

@@ -1,0 +1,35 @@
+let bcl b =
+  let t = Buchi.trim_live b in
+  if Buchi.is_empty t then t
+  else { t with accepting = Array.make t.nstates true }
+
+let is_closure_shaped (b : Buchi.t) =
+  let reach = Buchi.reachable b and live = Buchi.live_states b in
+  let all = ref true in
+  for q = 0 to b.nstates - 1 do
+    if not (b.accepting.(q) && reach.(q) && live.(q)) then all := false
+  done;
+  !all
+
+let naive_prune (b : Buchi.t) =
+  (* Keep states that reach an accepting state at all (cycle or not). *)
+  let can = Array.copy b.accepting in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for q = 0 to b.nstates - 1 do
+      if not can.(q) then
+        Array.iter
+          (List.iter (fun q' -> if can.(q') && not can.(q) then begin
+               can.(q) <- true;
+               changed := true
+             end))
+          b.delta.(q)
+    done
+  done;
+  let reach = Buchi.reachable b in
+  let keep = Array.init b.nstates (fun q -> reach.(q) && can.(q)) in
+  let t = Buchi.restrict b keep in
+  (* Even when the start is dropped, marking the lone sink accepting keeps
+     the language empty: it has no outgoing transitions. *)
+  { t with accepting = Array.make t.nstates true }

@@ -1,0 +1,32 @@
+(** The paper's closure operator on Büchi automata (Section 2.4).
+
+    "The operator first removes states that cannot reach an accepting state
+    and then makes every remaining state an accepting state. In this way,
+    the fairness condition is made trivial. It can then be shown that
+    applying this operator to [B] results in an automaton whose language is
+    the [lcl] of the language of [B]."
+
+    Precisely, the pruning removes states [q] with [L(B(q)) = ∅] (those
+    that cannot reach an accepting state {e lying on a cycle}); on the
+    pruned automaton every finite run extends to an accepting one, so
+    trivializing acceptance yields exactly the limit closure
+    [lcl L(B) = { t | every finite prefix of t is a prefix of some word of
+    L(B) }]. *)
+
+val bcl : Buchi.t -> Buchi.t
+(** The closure automaton: reachable live states only, all accepting.
+    [L (bcl B) = lcl (L B)]. Idempotent up to language equality;
+    [bcl] of an empty-language automaton has the empty language. *)
+
+val is_closure_shaped : Buchi.t -> bool
+(** Structural test: every state is accepting, reachable, and live — the
+    invariant [bcl] establishes and that {!Complement.complement_closed}
+    requires. *)
+
+val naive_prune : Buchi.t -> Buchi.t
+(** The {e ablation} variant that reads the paper's phrasing literally:
+    removes states that cannot reach {e any} accepting state (ignoring
+    whether the accepting state lies on a cycle), then accepts everywhere.
+    On automata with accepting dead-ends this yields a strictly larger
+    language than [lcl L(B)]; the test suite exhibits the difference,
+    pinning [bcl] as the correct reading. *)

@@ -1,0 +1,154 @@
+module Lasso = Sl_word.Lasso
+
+type t = {
+  alphabet : int;
+  nstates : int;
+  start : int;
+  delta : int list array array;
+  acceptance : bool array list;
+}
+
+let make ~alphabet ~nstates ~start ~delta ~acceptance =
+  (* Reuse the Büchi validator for the shared shape. *)
+  let shape =
+    Buchi.make ~alphabet ~nstates ~start ~delta
+      ~accepting:(Array.make nstates false)
+  in
+  ignore shape;
+  let acceptance =
+    match acceptance with
+    | [] -> [ Array.make nstates true ]
+    | sets ->
+        List.iter
+          (fun set ->
+            if Array.length set <> nstates then
+              invalid_arg "Gnba.make: acceptance set shape")
+          sets;
+        sets
+  in
+  { alphabet; nstates; start; delta; acceptance }
+
+let of_buchi (b : Buchi.t) =
+  make ~alphabet:b.alphabet ~nstates:b.nstates ~start:b.start ~delta:b.delta
+    ~acceptance:[ Array.copy b.accepting ]
+
+let degeneralize g =
+  let k = List.length g.acceptance in
+  let sets = Array.of_list g.acceptance in
+  let nstates = g.nstates * k in
+  let encode q i = (q * k) + i in
+  let bump q i = if sets.(i).(q) then (i + 1) mod k else i in
+  let delta =
+    Array.init nstates (fun code ->
+        let q = code / k and i = code mod k in
+        Array.map (List.map (fun q' -> encode q' (bump q i))) g.delta.(q))
+  in
+  let accepting =
+    Array.init nstates (fun code ->
+        let q = code / k and i = code mod k in
+        i = 0 && sets.(0).(q))
+  in
+  Buchi.make ~alphabet:g.alphabet ~nstates ~start:(encode g.start 0) ~delta
+    ~accepting
+
+(* Generic search for a reachable nontrivial SCC meeting every acceptance
+   predicate, over an explicit successor function. *)
+let good_scc ~nnodes ~succs ~start ~predicates =
+  let seen = Array.make nnodes false in
+  let rec visit v =
+    if not seen.(v) then begin
+      seen.(v) <- true;
+      List.iter visit (succs v)
+    end
+  in
+  visit start;
+  let index = Array.make nnodes (-1) in
+  let lowlink = Array.make nnodes 0 in
+  let on_stack = Array.make nnodes false in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let found = ref false in
+  let rec strongconnect v =
+    index.(v) <- !counter;
+    lowlink.(v) <- !counter;
+    incr counter;
+    stack := v :: !stack;
+    on_stack.(v) <- true;
+    List.iter
+      (fun w ->
+        if seen.(w) then
+          if index.(w) = -1 then begin
+            strongconnect w;
+            lowlink.(v) <- min lowlink.(v) lowlink.(w)
+          end
+          else if on_stack.(w) then lowlink.(v) <- min lowlink.(v) index.(w))
+      (succs v);
+    if lowlink.(v) = index.(v) then begin
+      let members = ref [] in
+      let brk = ref false in
+      while not !brk do
+        match !stack with
+        | [] -> brk := true
+        | w :: rest ->
+            stack := rest;
+            on_stack.(w) <- false;
+            members := w :: !members;
+            if w = v then brk := true
+      done;
+      let ms = !members in
+      let nontrivial =
+        match ms with
+        | [ single ] -> List.mem single (succs single)
+        | _ -> List.length ms > 1
+      in
+      if
+        nontrivial
+        && List.for_all (fun pred -> List.exists pred ms) predicates
+      then found := true
+    end
+  in
+  for v = 0 to nnodes - 1 do
+    if seen.(v) && index.(v) = -1 then strongconnect v
+  done;
+  !found
+
+let accepts_lasso g w =
+  let sp = Lasso.spoke w and pe = Lasso.period w in
+  let total = sp + pe in
+  let next p = if p + 1 < total then p + 1 else sp in
+  let node q p = (q * total) + p in
+  let succs v =
+    let q = v / total and p = v mod total in
+    List.map (fun q' -> node q' (next p)) g.delta.(q).(Lasso.at w p)
+  in
+  good_scc ~nnodes:(g.nstates * total) ~succs ~start:(node g.start 0)
+    ~predicates:
+      (List.map (fun set v -> set.(v / total)) g.acceptance)
+
+let is_empty g =
+  let succs q =
+    Array.fold_left (fun acc l -> List.rev_append l acc) [] g.delta.(q)
+    |> List.sort_uniq compare
+  in
+  not
+    (good_scc ~nnodes:g.nstates ~succs ~start:g.start
+       ~predicates:(List.map (fun set q -> set.(q)) g.acceptance))
+
+let pp fmt g =
+  Format.fprintf fmt "@[<v>gnba(%d states, %d sets, start %d)@," g.nstates
+    (List.length g.acceptance) g.start;
+  for q = 0 to g.nstates - 1 do
+    let marks =
+      String.concat ""
+        (List.mapi
+           (fun i set -> if set.(q) then string_of_int i else "")
+           g.acceptance)
+    in
+    Format.fprintf fmt "  %d{%s}:" q marks;
+    Array.iteri
+      (fun s succs ->
+        List.iter (fun q' -> Format.fprintf fmt " %d->%d" s q') succs)
+      g.delta.(q);
+    Format.fprintf fmt "@,"
+  done;
+  Format.fprintf fmt "@]"

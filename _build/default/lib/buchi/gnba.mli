@@ -1,0 +1,39 @@
+module Lasso = Sl_word.Lasso
+
+(** Generalized Büchi automata: acceptance is a {e list} of state sets,
+    each to be visited infinitely often.
+
+    The LTL tableau naturally produces one acceptance set per [Until];
+    this module makes the intermediate object first-class, with a direct
+    lasso-membership test (an SCC must meet {e every} set) and the
+    standard counter degeneralization — tested against each other and
+    against [Sl_ltl.Translate]'s inlined construction. *)
+
+type t = {
+  alphabet : int;
+  nstates : int;
+  start : int;
+  delta : int list array array;
+  acceptance : bool array list;  (** nonempty; each of length [nstates] *)
+}
+
+val make :
+  alphabet:int -> nstates:int -> start:int -> delta:int list array array ->
+  acceptance:bool array list -> t
+(** An empty acceptance list is replaced by the single all-accepting set
+    (every run accepts). *)
+
+val of_buchi : Buchi.t -> t
+
+val degeneralize : t -> Buchi.t
+(** Counter construction: state [(q, i)] waits for the [i]-th set;
+    accepting on [(q, 0)] with [q] in the first set. Language is
+    preserved (checked per-lasso by the tests). *)
+
+val accepts_lasso : t -> Lasso.t -> bool
+(** Direct decision: a reachable nontrivial SCC of the lasso product that
+    intersects every acceptance set. *)
+
+val is_empty : t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,38 @@
+let is_terminal (b : Buchi.t) =
+  let reach = Buchi.reachable b in
+  let ok = ref true in
+  for q = 0 to b.nstates - 1 do
+    if reach.(q) && b.accepting.(q) then
+      Array.iter
+        (fun succs ->
+          (* Complete within acceptance: a run that has reached the
+             accepting region can neither die nor leave it, so reaching
+             it IS a good prefix. *)
+          if succs = [] then ok := false;
+          List.iter
+            (fun q' -> if not b.accepting.(q') then ok := false)
+            succs)
+        b.delta.(q)
+  done;
+  !ok
+
+let is_weak (b : Buchi.t) =
+  let reach = Buchi.reachable b in
+  let comp, comps = Buchi.sccs b in
+  ignore comp;
+  List.for_all
+    (fun members ->
+      let reachable_members = List.filter (fun q -> reach.(q)) members in
+      match reachable_members with
+      | [] -> true
+      | q0 :: rest ->
+          List.for_all (fun q -> b.accepting.(q) = b.accepting.(q0)) rest)
+    comps
+
+let is_safety_shaped = Closure.is_closure_shaped
+
+let classify_structural b =
+  if is_safety_shaped b then "safety-shaped"
+  else if is_terminal b then "terminal"
+  else if is_weak b then "weak"
+  else "general"

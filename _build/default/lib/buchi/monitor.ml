@@ -1,0 +1,53 @@
+module Dfa = Sl_nfa.Dfa
+module Nfa = Sl_nfa.Nfa
+
+type verdict =
+  | Admissible
+  | Violation of int list
+
+type t = {
+  dfa : Dfa.t;
+  empty_property : bool;  (** degenerate: even the empty prefix is bad *)
+  mutable state : int;
+  mutable seen : int list;  (** reversed prefix *)
+  mutable tripped : int list option;  (** the bad prefix once found *)
+}
+
+let create b =
+  let safety = Closure.bcl b in
+  let dfa = Nfa.determinize (Buchi.to_prefix_nfa safety) in
+  (* Degenerate corner: the empty property has no admissible prefix at
+     all — even the empty one is bad. *)
+  let empty_property = Buchi.is_empty safety in
+  let tripped = if empty_property then Some [] else None in
+  { dfa; empty_property; state = dfa.Dfa.start; seen = []; tripped }
+
+let verdict m =
+  match m.tripped with
+  | Some bad -> Violation bad
+  | None -> Admissible
+
+let step m symbol =
+  (match m.tripped with
+  | Some _ -> ()
+  | None ->
+      m.seen <- symbol :: m.seen;
+      m.state <- Dfa.step m.dfa m.state symbol;
+      (* The prefix language is prefix-closed, so acceptance is lost at
+         most once — at the end of the shortest bad prefix. *)
+      if not m.dfa.Dfa.accepting.(m.state) then
+        m.tripped <- Some (List.rev m.seen));
+  verdict m
+
+let feed m word = List.fold_left (fun _ s -> step m s) (verdict m) word
+
+let reset m =
+  m.state <- m.dfa.Dfa.start;
+  m.seen <- [];
+  m.tripped <- (if m.empty_property then Some [] else None)
+
+let is_vacuous m = Dfa.is_empty (Dfa.complement m.dfa)
+
+let shortest_bad_prefix b =
+  let m = create b in
+  Dfa.some_accepted_word (Dfa.complement m.dfa)

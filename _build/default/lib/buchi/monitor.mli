@@ -1,0 +1,42 @@
+(** Execution monitors for safety properties — the paper's Schneider
+    connection made executable.
+
+    A monitor observes a finite, growing prefix and must reject exactly
+    the executions with a {e bad prefix}: one no member of the property
+    extends. Such monitors exist precisely for safety properties, since
+    only there does every violation have a finite witness; for any other
+    property the monitor built here is the monitor of its safety part
+    ([bcl B]) — the strongest enforceable approximation (Theorem 6 is why
+    it is the strongest). *)
+
+type t
+(** A deterministic monitor (the subset DFA of the safety part's prefix
+    language) plus its current state. Mutable. *)
+
+type verdict =
+  | Admissible  (** the prefix extends to some member of the property *)
+  | Violation of int list
+      (** the shortest bad prefix seen, ending at the first offending
+          symbol; irrevocable *)
+
+val create : Buchi.t -> t
+(** Monitor for the safety part of an arbitrary property automaton. *)
+
+val step : t -> int -> verdict
+(** Feed one symbol. After a [Violation] the monitor stays tripped. *)
+
+val feed : t -> int list -> verdict
+(** Feed many symbols. *)
+
+val verdict : t -> verdict
+val reset : t -> unit
+
+val is_vacuous : t -> bool
+(** The monitor can never trip: the property's safety part is the
+    universal language — i.e. the property is liveness. Schneider's
+    theorem in one boolean: enforceable content = none. *)
+
+val shortest_bad_prefix : Buchi.t -> int list option
+(** The shortest finite word no member of the property's safety part
+    extends ([None] for liveness properties). This is the certificate a
+    security auditor would ship with a rejected policy. *)

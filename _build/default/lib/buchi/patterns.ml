@@ -1,0 +1,84 @@
+module Alphabet = Sl_word.Alphabet
+
+let sigma = Alphabet.binary
+
+let a = 0
+let b = 1
+
+let p0 = Buchi.empty_language ~alphabet:2
+
+let p1 =
+  Buchi.of_edges ~alphabet:2 ~nstates:2 ~start:0
+    ~edges:[ (0, a, 1); (1, a, 1); (1, b, 1) ]
+    ~accepting:[ 1 ]
+
+let p2 =
+  Buchi.of_edges ~alphabet:2 ~nstates:2 ~start:0
+    ~edges:[ (0, b, 1); (1, a, 1); (1, b, 1) ]
+    ~accepting:[ 1 ]
+
+let p3 =
+  (* 0 --a--> 1 (waiting for a non-a), 1 --b--> 2 (satisfied, loop). *)
+  Buchi.of_edges ~alphabet:2 ~nstates:3 ~start:0
+    ~edges:[ (0, a, 1); (1, a, 1); (1, b, 2); (2, a, 2); (2, b, 2) ]
+    ~accepting:[ 2 ]
+
+let p4 =
+  (* Guess the point after which only b occurs. *)
+  Buchi.of_edges ~alphabet:2 ~nstates:2 ~start:0
+    ~edges:[ (0, a, 0); (0, b, 0); (0, b, 1); (1, b, 1) ]
+    ~accepting:[ 1 ]
+
+let p5 =
+  (* Deterministic: accepting state entered on each a. *)
+  Buchi.of_edges ~alphabet:2 ~nstates:2 ~start:0
+    ~edges:[ (0, b, 0); (0, a, 1); (1, a, 1); (1, b, 0) ]
+    ~accepting:[ 1 ]
+
+let p6 = Buchi.universal ~alphabet:2
+
+let rem_examples =
+  [ ("p0", "false", p0);
+    ("p1", "a", p1);
+    ("p2", "!a", p2);
+    ("p3", "a & F !a", p3);
+    ("p4", "F G !a", p4);
+    ("p5", "G F a", p5);
+    ("p6", "true", p6) ]
+
+(* Protocol alphabet: bit 0 = req, bit 1 = grant. *)
+let ap_alphabet = Alphabet.of_subsets [ "req"; "grant" ]
+
+let has_req s = s land 1 <> 0
+let has_grant s = s land 2 <> 0
+
+let request_response =
+  let edges = ref [] in
+  for s = 0 to 3 do
+    (* State 0: no pending request; state 1: a request awaits a grant. *)
+    let from0 = if has_req s && not (has_grant s) then 1 else 0 in
+    let from1 = if has_grant s then 0 else 1 in
+    edges := (0, s, from0) :: (1, s, from1) :: !edges
+  done;
+  Buchi.of_edges ~alphabet:4 ~nstates:2 ~start:0 ~edges:!edges
+    ~accepting:[ 0 ]
+
+let no_grant_without_request =
+  let edges = ref [] in
+  for s = 0 to 3 do
+    (* State 0: no request seen yet; a bare grant kills the run. *)
+    if has_req s then edges := (0, s, 1) :: !edges
+    else if not (has_grant s) then edges := (0, s, 0) :: !edges;
+    edges := (1, s, 1) :: !edges
+  done;
+  Buchi.of_edges ~alphabet:4 ~nstates:2 ~start:0 ~edges:!edges
+    ~accepting:[ 0; 1 ]
+
+let always_eventually_grant =
+  let edges = ref [] in
+  for s = 0 to 3 do
+    let from0 = if has_grant s then 1 else 0 in
+    edges := (0, s, from0) :: (1, s, from0) :: !edges
+  done;
+  Buchi.of_edges ~alphabet:4 ~nstates:2 ~start:0 ~edges:!edges
+    ~accepting:[ 1 ]

@@ -1,0 +1,90 @@
+(* Greatest fixpoint: start from the acceptance-compatible full relation
+   and remove pairs where some move of q cannot be matched by p. *)
+let direct_simulation (b : Buchi.t) =
+  let n = b.nstates in
+  let r =
+    Array.init n (fun p ->
+        Array.init n (fun q -> b.accepting.(p) || not b.accepting.(q)))
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for p = 0 to n - 1 do
+      for q = 0 to n - 1 do
+        if r.(p).(q) then begin
+          let matched =
+            List.for_all
+              (fun s ->
+                List.for_all
+                  (fun q' ->
+                    List.exists (fun p' -> r.(p').(q')) b.delta.(p).(s))
+                  b.delta.(q).(s))
+              (List.init b.alphabet Fun.id)
+          in
+          if not matched then begin
+            r.(p).(q) <- false;
+            changed := true
+          end
+        end
+      done
+    done
+  done;
+  r
+
+let quotient (b : Buchi.t) =
+  let r = direct_simulation b in
+  let n = b.nstates in
+  let class_of = Array.make n (-1) in
+  let count = ref 0 in
+  for q = 0 to n - 1 do
+    if class_of.(q) = -1 then begin
+      class_of.(q) <- !count;
+      for q' = q + 1 to n - 1 do
+        if class_of.(q') = -1 && r.(q).(q') && r.(q').(q) then
+          class_of.(q') <- !count
+      done;
+      incr count
+    end
+  done;
+  let nstates = !count in
+  let delta = Array.make_matrix nstates b.alphabet [] in
+  let accepting = Array.make nstates false in
+  for q = 0 to n - 1 do
+    let c = class_of.(q) in
+    if b.accepting.(q) then accepting.(c) <- true;
+    Array.iteri
+      (fun s succs ->
+        delta.(c).(s) <-
+          List.sort_uniq compare
+            (List.map (fun q' -> class_of.(q')) succs @ delta.(c).(s)))
+      b.delta.(q)
+  done;
+  let merged =
+    Buchi.make ~alphabet:b.alphabet ~nstates ~start:class_of.(b.start)
+      ~delta ~accepting
+  in
+  Buchi.restrict merged (Buchi.reachable merged)
+
+let reduce b =
+  let q = quotient b in
+  let r = direct_simulation q in
+  (* Little brothers: drop q' from delta.(p).(s) if some other q'' in the
+     same successor list strictly simulates it. *)
+  let delta =
+    Array.mapi
+      (fun _ row ->
+        Array.map
+          (fun succs ->
+            List.filter
+              (fun q' ->
+                not
+                  (List.exists
+                     (fun q'' ->
+                       q'' <> q' && r.(q'').(q') && not r.(q').(q''))
+                     succs))
+              succs)
+          row)
+      q.Buchi.delta
+  in
+  let pruned = { q with Buchi.delta = delta } in
+  Buchi.restrict pruned (Buchi.reachable pruned)

@@ -1,0 +1,1 @@
+lib/core/finite_check.ml: Format Int List Printf Sl_lattice String Theory

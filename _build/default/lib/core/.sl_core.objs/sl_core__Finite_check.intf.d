@@ -1,0 +1,1 @@
+lib/core/finite_check.mli: Sl_lattice Theory

@@ -1,0 +1,1 @@
+lib/ctl/ctl.ml: Array Format Fun List Printf Sl_kripke String

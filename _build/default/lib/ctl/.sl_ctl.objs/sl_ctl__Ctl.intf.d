@@ -1,0 +1,1 @@
+lib/ctl/ctl.mli: Format Sl_kripke

@@ -1,0 +1,1 @@
+lib/ctl/ctlstar.ml: Array List Sl_kripke

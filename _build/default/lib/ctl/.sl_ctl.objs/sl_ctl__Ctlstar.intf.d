@@ -1,0 +1,1 @@
+lib/ctl/ctlstar.mli: Sl_kripke

@@ -1,0 +1,1 @@
+lib/ctl/examples.ml: Array Ctl Ctlstar Format List Sl_tree String

@@ -1,0 +1,1 @@
+lib/ctl/examples.mli: Format Sl_tree

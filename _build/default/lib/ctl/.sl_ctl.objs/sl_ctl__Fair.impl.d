@@ -1,0 +1,1 @@
+lib/ctl/fair.ml: Array Ctl List Sl_kripke

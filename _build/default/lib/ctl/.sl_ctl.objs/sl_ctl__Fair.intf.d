@@ -1,0 +1,1 @@
+lib/ctl/fair.mli: Ctl Sl_kripke

@@ -1,0 +1,1 @@
+lib/ctl/witness.ml: Array Ctl Format List Option Queue Sl_kripke String

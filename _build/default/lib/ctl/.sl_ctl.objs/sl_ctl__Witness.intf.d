@@ -1,0 +1,1 @@
+lib/ctl/witness.mli: Ctl Format Sl_kripke

@@ -1,0 +1,52 @@
+(** The paper's Section 4.3 examples q0–q6: Rem's properties recast over
+    binary infinite trees, with the closure facts and the ES/US/EL/UL
+    classifications machine-checked on regular trees.
+
+    Trees branch arbitrarily with at most two children per node, over the
+    alphabet [{a = 0, b = 1}] (the paper's Section 4.3 works over the full
+    space [A_tot], sequences included); membership of a total tree is
+    decided by CTL model checking (q0–q3b, q6) or by the CTL* limit
+    modalities ({!Ctlstar}; q4a–q5b) on the presentation graph;
+    extendability of partial prefixes is decided by the documented
+    cycle-analysis oracles. *)
+
+module Tclosure = Sl_tree.Tclosure
+module Ptree = Sl_tree.Ptree
+
+val q0 : Tclosure.property (** [false] *)
+
+val q1 : Tclosure.property (** root labeled [a] *)
+
+val q2 : Tclosure.property (** root not labeled [a] *)
+
+val q3a : Tclosure.property (** [a ∧ AF ¬a] *)
+
+val q3b : Tclosure.property (** [a ∧ EF ¬a] *)
+
+val q4a : Tclosure.property (** [A FG ¬a] *)
+
+val q4b : Tclosure.property (** [E FG ¬a] *)
+
+val q5a : Tclosure.property (** [A GF a] *)
+
+val q5b : Tclosure.property (** [E GF a] *)
+
+val q6 : Tclosure.property (** [true] *)
+
+val all : Tclosure.property list
+
+val sample : Ptree.t list
+(** The sample of total trees used by the table: every total presentation
+    with at most 2 states and at most binary branching over [{a, b}] —
+    including the unary "sequences" the paper's Section 4.3 arguments
+    rely on. *)
+
+type row = {
+  property : Tclosure.property;
+  classification : Tclosure.classification;
+}
+
+val table : ?max_depth:int -> unit -> row list
+(** The Section 4.3 table, recomputed on {!sample}. *)
+
+val pp_table : Format.formatter -> row list -> unit

@@ -1,0 +1,148 @@
+module Kripke = Sl_kripke.Kripke
+
+type constraints = bool array list
+
+(* SCCs of the subgraph induced by [keep]. *)
+let sccs_within (k : Kripke.t) keep =
+  let n = k.nstates in
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let comps = ref [] in
+  let succs q = List.filter (fun q' -> keep.(q')) k.successors.(q) in
+  let rec strongconnect v =
+    index.(v) <- !counter;
+    lowlink.(v) <- !counter;
+    incr counter;
+    stack := v :: !stack;
+    on_stack.(v) <- true;
+    List.iter
+      (fun w ->
+        if index.(w) = -1 then begin
+          strongconnect w;
+          lowlink.(v) <- min lowlink.(v) lowlink.(w)
+        end
+        else if on_stack.(w) then lowlink.(v) <- min lowlink.(v) index.(w))
+      (succs v);
+    if lowlink.(v) = index.(v) then begin
+      let members = ref [] in
+      let brk = ref false in
+      while not !brk do
+        match !stack with
+        | [] -> brk := true
+        | w :: rest ->
+            stack := rest;
+            on_stack.(w) <- false;
+            members := w :: !members;
+            if w = v then brk := true
+      done;
+      comps := !members :: !comps
+    end
+  in
+  for v = 0 to n - 1 do
+    if keep.(v) && index.(v) = -1 then strongconnect v
+  done;
+  !comps
+
+(* E_fair G f: f-states that reach (within f) a nontrivial f-SCC meeting
+   every fairness set. *)
+let eg (k : Kripke.t) constraints f =
+  let n = k.nstates in
+  let seeds = Array.make n false in
+  List.iter
+    (fun comp ->
+      let nontrivial =
+        match comp with
+        | [ v ] -> List.mem v (List.filter (fun w -> f.(w)) k.successors.(v))
+        | _ -> true
+      in
+      if
+        nontrivial
+        && List.for_all
+             (fun set -> List.exists (fun q -> set.(q)) comp)
+             constraints
+      then List.iter (fun q -> seeds.(q) <- true) comp)
+    (sccs_within k f);
+  (* Backwards reachability within f. *)
+  let v = seeds in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for q = 0 to n - 1 do
+      if
+        f.(q) && (not v.(q))
+        && List.exists (fun q' -> v.(q')) k.successors.(q)
+      then begin
+        v.(q) <- true;
+        changed := true
+      end
+    done
+  done;
+  v
+
+let fair_states k constraints =
+  eg k constraints (Array.make k.Kripke.nstates true)
+
+let sat (k : Kripke.t) constraints formula =
+  let n = k.nstates in
+  let fair = fair_states k constraints in
+  let ex set =
+    Array.init n (fun q -> List.exists (fun q' -> set.(q')) k.successors.(q))
+  in
+  let conj a b = Array.init n (fun q -> a.(q) && b.(q)) in
+  let nota = Array.map not in
+  let eu a b =
+    let v = Array.copy b in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      for q = 0 to n - 1 do
+        if
+          (not v.(q)) && a.(q)
+          && List.exists (fun q' -> v.(q')) k.successors.(q)
+        then begin
+          v.(q) <- true;
+          changed := true
+        end
+      done
+    done;
+    v
+  in
+  let fair_ex set = ex (conj set fair) in
+  let fair_eu a b = eu a (conj b fair) in
+  let fair_eg = eg k constraints in
+  let rec go : Ctl.t -> bool array = function
+    | True -> Array.make n true
+    | False -> Array.make n false
+    | Prop p -> Array.init n (fun q -> Kripke.holds k q p)
+    | Not f -> nota (go f)
+    | And (a, b) -> conj (go a) (go b)
+    | Or (a, b) ->
+        let va = go a and vb = go b in
+        Array.init n (fun q -> va.(q) || vb.(q))
+    | Implies (a, b) ->
+        let va = go a and vb = go b in
+        Array.init n (fun q -> (not va.(q)) || vb.(q))
+    | EX f -> fair_ex (go f)
+    | AX f -> nota (fair_ex (nota (go f)))
+    | EF f -> fair_eu (Array.make n true) (go f)
+    | AF f -> nota (fair_eg (nota (go f)))
+    | EG f -> fair_eg (go f)
+    | AG f -> nota (fair_eu (Array.make n true) (nota (go f)))
+    | EU (a, b) -> fair_eu (go a) (go b)
+    | AU (a, b) ->
+        let va = go a and vb = go b in
+        let nb = nota vb in
+        let bad = fair_eu nb (conj (nota va) nb) in
+        let eg_nb = fair_eg nb in
+        Array.init n (fun q -> (not bad.(q)) && not eg_nb.(q))
+  in
+  go formula
+
+let holds (k : Kripke.t) constraints formula =
+  (sat k constraints formula).(k.initial)
+
+let constraint_of_prop (k : Kripke.t) p =
+  Array.init k.nstates (fun q -> Kripke.holds k q p)

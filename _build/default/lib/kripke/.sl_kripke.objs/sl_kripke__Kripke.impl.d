@@ -1,0 +1,1 @@
+lib/kripke/kripke.ml: Array Format Fun Hashtbl List Option Printf Random String

@@ -1,0 +1,1 @@
+lib/kripke/kripke.mli: Format

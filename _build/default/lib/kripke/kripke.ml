@@ -1,0 +1,310 @@
+type t = {
+  nstates : int;
+  initial : int;
+  successors : int list array;
+  ap : string array;
+  labels : bool array array;
+}
+
+let make ~nstates ~initial ~successors ~ap ~labels =
+  if nstates < 1 then invalid_arg "Kripke.make: need at least one state";
+  if initial < 0 || initial >= nstates then
+    invalid_arg "Kripke.make: bad initial state";
+  if Array.length successors <> nstates || Array.length labels <> nstates
+  then invalid_arg "Kripke.make: shape mismatch";
+  let nap = Array.length ap in
+  Array.iter
+    (fun row ->
+      if Array.length row <> nap then invalid_arg "Kripke.make: label shape")
+    labels;
+  let successors =
+    Array.map
+      (fun succs ->
+        if succs = [] then
+          invalid_arg "Kripke.make: state without successor (not total)";
+        List.iter
+          (fun q ->
+            if q < 0 || q >= nstates then
+              invalid_arg "Kripke.make: successor out of range")
+          succs;
+        List.sort_uniq compare succs)
+      successors
+  in
+  { nstates; initial; successors; ap; labels }
+
+let ap_index k p =
+  let found = ref None in
+  Array.iteri (fun i q -> if String.equal q p then found := Some i) k.ap;
+  !found
+
+let holds k q p =
+  match ap_index k p with Some i -> k.labels.(q).(i) | None -> false
+
+let reachable k =
+  let seen = Array.make k.nstates false in
+  let rec visit q =
+    if not seen.(q) then begin
+      seen.(q) <- true;
+      List.iter visit k.successors.(q)
+    end
+  in
+  visit k.initial;
+  seen
+
+let restrict_reachable k =
+  let reach = reachable k in
+  let remap = Array.make k.nstates (-1) in
+  let count = ref 0 in
+  Array.iteri
+    (fun q r ->
+      if r then begin
+        remap.(q) <- !count;
+        incr count
+      end)
+    reach;
+  let nstates = !count in
+  let successors = Array.make nstates [] in
+  let labels = Array.make nstates [||] in
+  Array.iteri
+    (fun q r ->
+      if r then begin
+        successors.(remap.(q)) <- List.map (fun q' -> remap.(q'))
+            k.successors.(q);
+        labels.(remap.(q)) <- Array.copy k.labels.(q)
+      end)
+    reach;
+  make ~nstates ~initial:remap.(k.initial) ~successors ~ap:k.ap ~labels
+
+let branching_degree k =
+  Array.fold_left (fun m succs -> max m (List.length succs)) 0 k.successors
+
+let is_k_ary k arity =
+  Array.for_all (fun succs -> List.length succs = arity) k.successors
+
+let pp fmt k =
+  Format.fprintf fmt "@[<v>kripke(%d states, initial %d)@," k.nstates
+    k.initial;
+  for q = 0 to k.nstates - 1 do
+    let props =
+      List.filteri (fun i _ -> k.labels.(q).(i)) (Array.to_list k.ap)
+    in
+    Format.fprintf fmt "  %d{%s}:" q (String.concat "," props);
+    List.iter (fun q' -> Format.fprintf fmt " ->%d" q') k.successors.(q);
+    Format.fprintf fmt "@,"
+  done;
+  Format.fprintf fmt "@]"
+
+let lasso_paths k ~from ~max_len =
+  (* Depth-first enumeration of simple-ish paths; a lasso closes when the
+     next state already occurs in the current path. *)
+  let results = ref [] in
+  let rec extend path =
+    (* path is reversed: head is the last state. *)
+    let current = List.hd path in
+    if List.length path < max_len then
+      List.iter
+        (fun q ->
+          (match List.mapi (fun i s -> (i, s)) (List.rev path) with
+          | indexed ->
+              (match List.find_opt (fun (_, s) -> s = q) indexed with
+              | Some (i, _) ->
+                  let forward = List.rev path in
+                  let spoke = List.filteri (fun j _ -> j < i) forward in
+                  let cycle = List.filteri (fun j _ -> j >= i) forward in
+                  results := (spoke, cycle) :: !results
+              | None -> ()));
+          if not (List.mem q path) then extend (q :: path))
+        k.successors.(current)
+  in
+  extend [ from ];
+  List.sort_uniq compare !results
+
+let path_labels k states p = List.map (fun q -> holds k q p) states
+
+(* --- Generators --- *)
+
+(* Two processes with program counters N(0) -> T(1) -> C(2) -> N and a
+   strict-alternation scheduler; a process may dawdle in N. *)
+let mutex () =
+  let encode pc1 pc2 turn = (((pc1 * 3) + pc2) * 2) + turn in
+  let nstates = 18 in
+  let successors = Array.make nstates [] in
+  for pc1 = 0 to 2 do
+    for pc2 = 0 to 2 do
+      for turn = 0 to 1 do
+        let moves =
+          if turn = 0 then begin
+            match pc1 with
+            | 0 -> [ encode 0 pc2 1; encode 1 pc2 1 ] (* stay or try *)
+            | 1 ->
+                if pc2 = 2 then [ encode 1 pc2 1 ] (* blocked *)
+                else [ encode 2 pc2 1 ]
+            | _ -> [ encode 0 pc2 1 ]
+          end
+          else begin
+            match pc2 with
+            | 0 -> [ encode pc1 0 0; encode pc1 1 0 ]
+            | 1 -> if pc1 = 2 then [ encode pc1 1 0 ] else [ encode pc1 2 0 ]
+            | _ -> [ encode pc1 0 0 ]
+          end
+        in
+        successors.(encode pc1 pc2 turn) <- moves
+      done
+    done
+  done;
+  let ap = [| "n1"; "t1"; "c1"; "n2"; "t2"; "c2" |] in
+  let labels =
+    Array.init nstates (fun q ->
+        let pc2 = q / 2 mod 3 and pc1 = q / 6 in
+        [| pc1 = 0; pc1 = 1; pc1 = 2; pc2 = 0; pc2 = 1; pc2 = 2 |])
+  in
+  restrict_reachable
+    (make ~nstates ~initial:(encode 0 0 0) ~successors ~ap ~labels)
+
+(* Peterson's algorithm. Process state: 0 idle, 1 about to set flag,
+   2 about to set turn, 3 waiting, 4 critical. The flag of process i is
+   implied by pc_i >= 2... NOT exactly: flags are set at the 1->2 step and
+   cleared on exit, so flag_i = (pc_i >= 2). Turn is explicit. *)
+let peterson () =
+  let encode pc1 pc2 turn = (((pc1 * 5) + pc2) * 2) + turn in
+  let nstates = 5 * 5 * 2 in
+  let flag pc = pc >= 2 in
+  let moves_of pc ~other_flag ~turn ~me =
+    (* Returns (new_pc, new_turn option) choices for one process. *)
+    match pc with
+    | 0 -> [ (0, None) (* dawdle *); (1, None) ]
+    | 1 -> [ (2, None) (* flag := true *) ]
+    | 2 -> [ (3, Some (1 - me)) (* turn := other *) ]
+    | 3 ->
+        if (not other_flag) || turn = me then [ (4, None) ]
+        else [ (3, None) (* busy-wait *) ]
+    | _ -> [ (0, None) (* leave, clearing the flag *) ]
+  in
+  let successors = Array.make nstates [] in
+  for pc1 = 0 to 4 do
+    for pc2 = 0 to 4 do
+      for turn = 0 to 1 do
+        let p1_moves =
+          List.map
+            (fun (pc1', t') ->
+              encode pc1' pc2 (Option.value t' ~default:turn))
+            (moves_of pc1 ~other_flag:(flag pc2) ~turn ~me:0)
+        in
+        let p2_moves =
+          List.map
+            (fun (pc2', t') ->
+              encode pc1 pc2' (Option.value t' ~default:turn))
+            (moves_of pc2 ~other_flag:(flag pc1) ~turn ~me:1)
+        in
+        successors.(encode pc1 pc2 turn) <-
+          List.sort_uniq compare (p1_moves @ p2_moves)
+      done
+    done
+  done;
+  let ap = [| "idle1"; "wait1"; "c1"; "idle2"; "wait2"; "c2"; "turn1";
+              "turn2" |] in
+  let labels =
+    Array.init nstates (fun s ->
+        let turn = s mod 2 in
+        let pc2 = s / 2 mod 5 in
+        let pc1 = s / 10 in
+        [| pc1 = 0; pc1 = 3; pc1 = 4; pc2 = 0; pc2 = 3; pc2 = 4;
+           turn = 0; turn = 1 |])
+  in
+  restrict_reachable
+    (make ~nstates ~initial:(encode 0 0 0) ~successors ~ap ~labels)
+
+let bounded_buffer ~capacity =
+  if capacity < 1 then invalid_arg "Kripke.bounded_buffer: capacity >= 1";
+  let nstates = capacity + 1 in
+  let successors =
+    Array.init nstates (fun level ->
+        let produce = if level < capacity then [ level + 1 ] else [] in
+        let consume = if level > 0 then [ level - 1 ] else [] in
+        produce @ consume)
+  in
+  let ap = [| "empty"; "full" |] in
+  let labels =
+    Array.init nstates (fun level -> [| level = 0; level = capacity |])
+  in
+  make ~nstates ~initial:0 ~successors ~ap ~labels
+
+let token_ring n =
+  if n < 2 then invalid_arg "Kripke.token_ring: need n >= 2";
+  let successors = Array.init n (fun i -> [ (i + 1) mod n ]) in
+  let ap = Array.init n (Printf.sprintf "tok%d") in
+  let labels = Array.init n (fun q -> Array.init n (fun i -> i = q)) in
+  make ~nstates:n ~initial:0 ~successors ~ap ~labels
+
+(* Philosopher phases: 0 think, 1 hungry, 2 eat. Configurations with
+   adjacent eaters are unreachable and excluded. *)
+let dining_philosophers n =
+  if n < 2 || n > 6 then
+    invalid_arg "Kripke.dining_philosophers: supported n is 2..6";
+  let nconf = int_of_float (3. ** float_of_int n) in
+  let phase conf i = conf / int_of_float (3. ** float_of_int i) mod 3 in
+  let consistent conf =
+    let bad = ref false in
+    for i = 0 to n - 1 do
+      if phase conf i = 2 && phase conf ((i + 1) mod n) = 2 then bad := true
+    done;
+    not !bad
+  in
+  let configs =
+    List.filter consistent (List.init nconf Fun.id) |> Array.of_list
+  in
+  let index = Hashtbl.create 64 in
+  Array.iteri (fun i c -> Hashtbl.replace index c i) configs;
+  let set_phase conf i ph =
+    let p = int_of_float (3. ** float_of_int i) in
+    conf - (phase conf i * p) + (ph * p)
+  in
+  let successors =
+    Array.map
+      (fun conf ->
+        let moves = ref [] in
+        for i = 0 to n - 1 do
+          (match phase conf i with
+          | 0 -> moves := set_phase conf i 1 :: !moves
+          | 1 ->
+              if
+                phase conf ((i + 1) mod n) <> 2
+                && phase conf ((i + n - 1) mod n) <> 2
+              then moves := set_phase conf i 2 :: !moves
+          | _ -> moves := set_phase conf i 0 :: !moves)
+        done;
+        List.filter_map (fun c -> Hashtbl.find_opt index c) !moves)
+      configs
+  in
+  let ap =
+    Array.concat
+      [ Array.init n (Printf.sprintf "eat%d");
+        Array.init n (Printf.sprintf "hungry%d") ]
+  in
+  let labels =
+    Array.map
+      (fun conf ->
+        Array.init (2 * n) (fun j ->
+            if j < n then phase conf j = 2 else phase conf (j - n) = 1))
+      configs
+  in
+  restrict_reachable
+    (make ~nstates:(Array.length configs)
+       ~initial:(Hashtbl.find index 0)
+       ~successors ~ap ~labels)
+
+let random ?(seed = 7) ~nstates ~ap ~density () =
+  let st = Random.State.make [| seed |] in
+  let successors =
+    Array.init nstates (fun _ ->
+        let succs =
+          List.filter (fun _ -> Random.State.float st 1.0 < density)
+            (List.init nstates Fun.id)
+        in
+        if succs = [] then [ Random.State.int st nstates ] else succs)
+  in
+  let labels =
+    Array.init nstates (fun _ ->
+        Array.init (Array.length ap) (fun _ -> Random.State.bool st))
+  in
+  make ~nstates ~initial:0 ~successors ~ap ~labels

@@ -1,0 +1,84 @@
+(** Kripke structures: finite transition systems with atomic-proposition
+    labels.
+
+    These are the finite presentations of the infinite computation trees of
+    the paper's branching-time framework (Section 4): unwinding a Kripke
+    structure from a state yields a total tree, and CTL properties of that
+    tree are decided by model checking the structure ([Sl_ctl]). Every
+    state must have at least one successor so unwindings are total. *)
+
+type t = {
+  nstates : int;
+  initial : int;
+  successors : int list array;  (** nonempty per state, sorted *)
+  ap : string array;  (** atomic proposition names *)
+  labels : bool array array;  (** [labels.(state).(ap_index)] *)
+}
+
+val make :
+  nstates:int -> initial:int -> successors:int list array ->
+  ap:string array -> labels:bool array array -> t
+(** Validates totality (every state has a successor), ranges and shapes. *)
+
+val holds : t -> int -> string -> bool
+(** [holds k q p] — does proposition [p] hold at state [q]?
+    Unknown propositions are false. *)
+
+val ap_index : t -> string -> int option
+val reachable : t -> bool array
+val restrict_reachable : t -> t
+(** Drop unreachable states (renumbering). *)
+
+val branching_degree : t -> int
+(** Maximum successor count. *)
+
+val is_k_ary : t -> int -> bool
+(** Every state has exactly [k] successors. *)
+
+val pp : Format.formatter -> t -> unit
+
+(** {1 Paths}
+
+    Lasso-shaped paths are state sequences [q_0 … q_{s-1} (q_s … q_e)^ω]
+    following the transition relation; they are the branching-time
+    analogue of {!Sl_word.Lasso} and witness existential CTL facts. *)
+
+val lasso_paths : t -> from:int -> max_len:int -> (int list * int list) list
+(** All lasso paths [(spoke, cycle)] from a state with
+    [|spoke| + |cycle| <= max_len]; cycles nonempty. *)
+
+val path_labels : t -> int list -> string -> bool list
+(** Truth of one proposition along a state sequence. *)
+
+(** {1 Generators} *)
+
+val mutex : unit -> t
+(** Two-process mutual exclusion (Peterson-flavoured abstraction):
+    propositions [n1, t1, c1, n2, t2, c2] (non-critical / trying /
+    critical). The standard CTL benchmarking structure: safety
+    [AG !(c1 & c2)] holds, liveness [AG (t1 -> AF c1)] holds under the
+    built-in scheduler. *)
+
+val token_ring : int -> t
+(** [n]-station token ring; proposition [tok_i] marks the token at station
+    [i]; the token moves one station per step. *)
+
+val peterson : unit -> t
+(** The genuine Peterson mutual-exclusion algorithm: program counters
+    (idle / setting-flag / setting-turn / waiting / critical), two flag
+    bits and the turn bit, interleaved moves, idling allowed in the idle
+    section. Propositions: [idle1], [wait1], [c1] (and [..2]), [turn1],
+    [turn2]. Mutual exclusion holds structurally; entry is guaranteed
+    only under scheduling fairness — exactly the safety/liveness split. *)
+
+val bounded_buffer : capacity:int -> t
+(** Producer/consumer over a buffer of the given capacity; state =
+    current fill level. Propositions: [empty], [full]. *)
+
+val dining_philosophers : int -> t
+(** [n] philosophers (2 to 5 recommended; state space [3^n] pruned to
+    consistent fork assignments). Proposition [eat_i] marks philosopher
+    [i] eating. Deadlock-free by asymmetric fork order. *)
+
+val random : ?seed:int -> nstates:int -> ap:string array -> density:float -> unit -> t
+(** Random total structure, deterministic in [seed]. *)

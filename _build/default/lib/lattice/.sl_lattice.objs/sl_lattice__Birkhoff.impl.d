@@ -1,0 +1,1 @@
+lib/lattice/birkhoff.ml: Array Fun Lattice List Option Sl_order

@@ -1,0 +1,1 @@
+lib/lattice/birkhoff.mli: Lattice Sl_order

@@ -1,0 +1,1 @@
+lib/lattice/closure.ml: Array Format Fun Lattice List Named Printf String

@@ -1,0 +1,1 @@
+lib/lattice/closure.mli: Format Lattice

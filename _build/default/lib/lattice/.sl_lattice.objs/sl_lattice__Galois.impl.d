@@ -1,0 +1,1 @@
+lib/lattice/galois.ml: Array Closure Fun Lattice List Option Sl_order

@@ -1,0 +1,1 @@
+lib/lattice/galois.mli: Closure Lattice Sl_order

@@ -1,0 +1,1 @@
+lib/lattice/lattice.ml: Array Format List Sl_order

@@ -1,0 +1,1 @@
+lib/lattice/named.ml: Array Fun Hashtbl Lattice List Sl_order

@@ -1,0 +1,55 @@
+module Poset = Sl_order.Poset
+let irreducible_poset l =
+  let irr = Array.of_list (Lattice.join_irreducibles l) in
+  let poset =
+    Poset.make ~size:(Array.length irr) ~leq:(fun i j ->
+        Lattice.leq l irr.(i) irr.(j))
+  in
+  (poset, irr)
+
+let downset_lattice poset =
+  let downs = Array.of_list (Poset.all_down_sets poset) in
+  let subset a b = List.for_all (fun x -> List.mem x b) a in
+  let p =
+    Poset.make ~size:(Array.length downs) ~leq:(fun i j ->
+        subset downs.(i) downs.(j))
+  in
+  (Lattice.of_poset p, downs)
+
+let representation l =
+  if not (Lattice.is_distributive l) then None
+  else begin
+    let poset, irr = irreducible_poset l in
+    let _, downs = downset_lattice poset in
+    let irr_below x =
+      (* Indices (in the irreducible poset) of irreducibles below x. *)
+      List.filteri (fun _ _ -> true) (List.init (Poset.size poset) Fun.id)
+      |> List.filter (fun i -> Lattice.leq l irr.(i) x)
+      |> List.sort compare
+    in
+    let index_of ds =
+      let rec find i =
+        if i >= Array.length downs then None
+        else if List.sort compare downs.(i) = ds then Some i
+        else find (i + 1)
+      in
+      find 0
+    in
+    let table =
+      List.map (fun x -> index_of (irr_below x)) (Lattice.elements l)
+    in
+    if List.for_all Option.is_some table then begin
+      let arr = Array.of_list (List.map Option.get table) in
+      Some (fun x -> arr.(x))
+    end
+    else None
+  end
+
+let check_representation l =
+  match representation l with
+  | None -> false
+  | Some f ->
+      let poset, _ = irreducible_poset l in
+      let target, _ = downset_lattice poset in
+      Lattice.size l = Lattice.size target
+      && Poset.is_order_embedding (Lattice.poset l) (Lattice.poset target) f

@@ -1,0 +1,93 @@
+type t = { lattice : Lattice.t; map : Lattice.elt array }
+
+exception Invalid_closure of string
+
+let validate l f =
+  let elems = Lattice.elements l in
+  let bad = ref None in
+  let record law ws = if !bad = None then bad := Some (law, ws) in
+  List.iter
+    (fun x ->
+      if not (Lattice.leq l x (f x)) then record "extensive" [ x ];
+      if f (f x) <> f x then record "idempotent" [ x ];
+      List.iter
+        (fun y ->
+          if Lattice.leq l x y && not (Lattice.leq l (f x) (f y)) then
+            record "monotone" [ x; y ])
+        elems)
+    elems;
+  !bad
+
+let make l f =
+  (match validate l f with
+  | Some (law, ws) ->
+      raise
+        (Invalid_closure
+           (Printf.sprintf "not %s at (%s)" law
+              (String.concat ", " (List.map string_of_int ws))))
+  | None -> ());
+  { lattice = l; map = Array.init (Lattice.size l) f }
+
+let identity l = make l Fun.id
+let to_top l = make l (fun _ -> Lattice.top l)
+
+let of_closed_set l closed =
+  let closed = Lattice.top l :: closed in
+  let cl x =
+    let above = List.filter (fun c -> Lattice.leq l x c) closed in
+    (* The meet of all closed elements above x is itself closed (finite
+       lattice) and is the least one above x. *)
+    Lattice.meet_set l above
+  in
+  make l cl
+
+(* Closure operators on a finite lattice are in bijection with meet-closed
+   subsets containing top. We enumerate subsets of the non-top carrier. *)
+let all l =
+  let n = Lattice.size l in
+  let non_top = List.filter (fun x -> x <> Lattice.top l) (Lattice.elements l) in
+  if n > 20 then invalid_arg "Closure.all: lattice too large";
+  let rec subsets = function
+    | [] -> [ [] ]
+    | x :: rest ->
+        let s = subsets rest in
+        s @ List.map (fun sub -> x :: sub) s
+  in
+  let meet_closed sub =
+    let set = Lattice.top l :: sub in
+    List.for_all
+      (fun a -> List.for_all (fun b -> List.mem (Lattice.meet l a b) set) set)
+      set
+  in
+  subsets non_top
+  |> List.filter meet_closed
+  |> List.map (of_closed_set l)
+
+let fig1 =
+  let l = Named.n5 in
+  make l (fun x -> if x = Named.n5_a then Named.n5_b else x)
+
+let fig2_candidates =
+  List.filter
+    (fun cl -> cl.map.(Named.m3_a) = Named.m3_s)
+    (all Named.m3)
+
+let lattice cl = cl.lattice
+let apply cl x = cl.map.(x)
+
+let closed_elements cl =
+  List.filter (fun x -> cl.map.(x) = x) (Lattice.elements cl.lattice)
+
+let is_closed cl x = cl.map.(x) = x
+
+let pointwise_leq cl1 cl2 =
+  List.for_all
+    (fun x -> Lattice.leq cl1.lattice cl1.map.(x) cl2.map.(x))
+    (Lattice.elements cl1.lattice)
+
+let pp fmt cl =
+  Format.fprintf fmt "@[<hov 2>closure{";
+  Array.iteri
+    (fun x y -> if x <> y then Format.fprintf fmt "@ %d=>%d" x y)
+    cl.map;
+  Format.fprintf fmt "@ }@]"

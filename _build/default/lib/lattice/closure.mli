@@ -1,0 +1,60 @@
+(** Lattice-closure operators on finite lattices.
+
+    Section 3 of the paper: a lattice-closure on [L] is a function
+    [cl : L -> L] that is extensive ([a <= cl a]), idempotent
+    ([cl (cl a) = cl a]) and monotone ([a <= b => cl a <= cl b]). On a
+    finite lattice these are in bijection with {e closure systems}: subsets
+    of closed elements that contain top and are closed under meets
+    ({!of_closed_set}, {!all}). *)
+
+type t
+(** A validated closure operator on a specific finite lattice. *)
+
+exception Invalid_closure of string
+
+(** {1 Construction} *)
+
+val make : Lattice.t -> (Lattice.elt -> Lattice.elt) -> t
+(** @raise Invalid_closure if the function is not extensive, idempotent and
+    monotone on the carrier. *)
+
+val identity : Lattice.t -> t
+(** The finest closure: every element is closed. *)
+
+val to_top : Lattice.t -> t
+(** The coarsest closure: [cl x = 1] for all [x]; only top is closed. *)
+
+val of_closed_set : Lattice.t -> Lattice.elt list -> t
+(** [of_closed_set l closed] is the closure whose closed elements are the
+    meet-closure of [closed ∪ {top}]: [cl x] is the least listed element
+    above [x]. Always well-defined on a finite lattice. *)
+
+val all : Lattice.t -> t list
+(** Every closure operator on the lattice, enumerated via meet-closed
+    subsets containing top. Exponential; intended for the small lattices of
+    {!Named.all_small}. *)
+
+val fig1 : t
+(** The closure of Figure 1 on {!Named.n5}: [cl a = b], identity
+    elsewhere. *)
+
+val fig2_candidates : t list
+(** All closures on {!Named.m3} mapping the paper's [a] to [s]
+    ("consider any lattice closure cl that maps a to s"). *)
+
+(** {1 Observations} *)
+
+val lattice : t -> Lattice.t
+val apply : t -> Lattice.elt -> Lattice.elt
+val closed_elements : t -> Lattice.elt list
+val is_closed : t -> Lattice.elt -> bool
+
+val pointwise_leq : t -> t -> bool
+(** [pointwise_leq cl1 cl2] iff [cl1 x <= cl2 x] for all [x] — the
+    hypothesis of Theorem 3 relating the two closures. *)
+
+val validate : Lattice.t -> (Lattice.elt -> Lattice.elt) -> (string * Lattice.elt list) option
+(** Diagnostic form of {!make}: returns the violated axiom and a witness
+    instead of raising, or [None] when the function is a closure. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,116 @@
+module Poset = Sl_order.Poset
+
+type t = {
+  left : Poset.t;
+  right : Poset.t;
+  lower : Poset.elt -> Poset.elt;
+  upper : Poset.elt -> Poset.elt;
+}
+
+let validate c =
+  let bad = ref None in
+  let record law ws = if !bad = None then bad := Some (law, ws) in
+  if not (Poset.is_monotone c.left c.right c.lower) then
+    record "lower not monotone" [];
+  if not (Poset.is_monotone c.right c.left c.upper) then
+    record "upper not monotone" [];
+  List.iter
+    (fun x ->
+      List.iter
+        (fun y ->
+          if Poset.leq c.right (c.lower x) y <> Poset.leq c.left x (c.upper y)
+          then record "adjunction law" [ x; y ])
+        (Poset.elements c.right))
+    (Poset.elements c.left);
+  !bad
+
+let is_connection c = validate c = None
+let closure_of c x = c.upper (c.lower x)
+let kernel_of c y = c.lower (c.upper y)
+
+let of_closure l cl =
+  let closed = Array.of_list (Closure.closed_elements cl) in
+  let right =
+    Poset.make ~size:(Array.length closed) ~leq:(fun i j ->
+        Lattice.leq l closed.(i) closed.(j))
+  in
+  let index_of e =
+    let found = ref (-1) in
+    Array.iteri (fun i c -> if c = e then found := i) closed;
+    assert (!found >= 0);
+    !found
+  in
+  {
+    left = Lattice.poset l;
+    right;
+    lower = (fun x -> index_of (Closure.apply cl x));
+    upper = (fun i -> closed.(i));
+  }
+
+let right_adjoint_of p q f =
+  let candidates y = List.filter (fun x -> Poset.leq q (f x) y)
+      (Poset.elements p) in
+  let table =
+    List.map
+      (fun y ->
+        let cands = candidates y in
+        List.find_opt
+          (fun m -> List.for_all (fun x -> Poset.leq p x m) cands)
+          cands)
+      (Poset.elements q)
+  in
+  if List.for_all Option.is_some table then begin
+    let arr = Array.of_list (List.map Option.get table) in
+    Some (fun y -> arr.(y))
+  end
+  else None
+
+let lcl_connection ~max_len ~alphabet =
+  let rec words len =
+    if len = 0 then [ [] ]
+    else
+      List.concat_map
+        (fun w -> List.init alphabet (fun s -> s :: w))
+        (words (len - 1))
+  in
+  let observations = Array.of_list (words max_len) in
+  let prefixes =
+    Array.of_list
+      (List.concat_map words (List.init (max_len + 1) Fun.id))
+  in
+  let nobs = Array.length observations and npre = Array.length prefixes in
+  if nobs > 4 || npre > 8 then
+    invalid_arg "Galois.lcl_connection: universe too large";
+  let prefix_index w =
+    let found = ref (-1) in
+    Array.iteri (fun i p -> if p = w then found := i) prefixes;
+    !found
+  in
+  let prefixes_of w =
+    List.init (List.length w + 1) (fun k ->
+        List.filteri (fun i _ -> i < k) w)
+  in
+  let obs_prefix_mask =
+    Array.map
+      (fun w ->
+        List.fold_left
+          (fun acc p -> acc lor (1 lsl prefix_index p))
+          0 (prefixes_of w))
+      observations
+  in
+  let left = Poset.powerset nobs and right = Poset.powerset npre in
+  let lower s =
+    let mask = ref 0 in
+    Array.iteri
+      (fun i pm -> if s land (1 lsl i) <> 0 then mask := !mask lor pm)
+      obs_prefix_mask;
+    !mask
+  in
+  let upper t =
+    let mask = ref 0 in
+    Array.iteri
+      (fun i pm -> if pm land t = pm then mask := !mask lor (1 lsl i))
+      obs_prefix_mask;
+    !mask
+  in
+  { left; right; lower; upper }

@@ -1,0 +1,61 @@
+module Poset = Sl_order.Poset
+
+(** Galois connections between finite posets.
+
+    A (antitone-free, i.e. monotone/covariant) Galois connection
+    [(f, g)] between posets [P] and [Q] is a pair
+    [f : P -> Q], [g : Q -> P] with [f x <= y  iff  x <= g y].
+    The composite [g ∘ f] is then a lattice closure on [P] — this is
+    {e the} canonical source of closure operators, and conversely every
+    closure operator arises this way (from the connection onto its image
+    poset). The paper's [lcl] fits the pattern: abstraction to the set of
+    finite prefixes, concretization to the limit.
+
+    These functions make the correspondence executable; the test suite
+    checks both directions on the lattice corpus. *)
+
+type t = {
+  left : Poset.t;  (** the "concrete" side P *)
+  right : Poset.t;  (** the "abstract" side Q *)
+  lower : Poset.elt -> Poset.elt;  (** f, the left adjoint *)
+  upper : Poset.elt -> Poset.elt;  (** g, the right adjoint *)
+}
+
+val validate : t -> (string * Poset.elt list) option
+(** [None] iff [(lower, upper)] is a genuine Galois connection: both maps
+    are monotone and the adjunction law [f x <= y iff x <= g y] holds for
+    all pairs. Returns the violated condition and a witness otherwise. *)
+
+val is_connection : t -> bool
+
+val closure_of : t -> Poset.elt -> Poset.elt
+(** The induced closure [g ∘ f] on the left poset. Guaranteed to be a
+    lattice closure when {!is_connection} holds. *)
+
+val kernel_of : t -> Poset.elt -> Poset.elt
+(** The induced kernel (interior) [f ∘ g] on the right poset:
+    contractive, idempotent, monotone — the dual notion. *)
+
+val of_closure : Lattice.t -> Closure.t -> t
+(** The converse direction: a closure operator [cl] on a lattice [L]
+    yields the connection between [L] and the sub-poset of cl-closed
+    elements, with [lower = cl] (corestricted) and [upper] the inclusion.
+    The right poset's element [i] denotes the [i]-th closed element; the
+    induced closure is [cl] again ({!closure_of} ∘ {!of_closure} = apply),
+    which is how the tests certify the correspondence. *)
+
+val right_adjoint_of : Poset.t -> Poset.t -> (Poset.elt -> Poset.elt) -> (Poset.elt -> Poset.elt) option
+(** Given a monotone [f : P -> Q] that preserves all existing joins,
+    compute its right adjoint [g y = max { x | f x <= y }] if every such
+    maximum exists; [None] otherwise. *)
+
+val lcl_connection : max_len:int -> alphabet:int -> t
+(** A finite instance of the prefix/limit connection behind [lcl]: the
+    left poset is the powerset of all words of length exactly [max_len]
+    (ordered by inclusion, encoding ω-languages by their length-[max_len]
+    observations); the right poset is the powerset of all words of length
+    [<= max_len] (prefix sets); [lower] maps a set of observations to its
+    downward prefix closure, [upper] maps a prefix set to the
+    observations all of whose prefixes it contains. The induced closure
+    is the bounded-horizon [lcl]. Sizes are tiny ([alphabet^max_len <= 8]
+    enforced). *)

@@ -1,0 +1,1 @@
+lib/ltl/examples.ml: Format Formula List Sl_buchi String Translate

@@ -1,0 +1,1 @@
+lib/ltl/examples.mli: Format Formula Semantics Sl_buchi

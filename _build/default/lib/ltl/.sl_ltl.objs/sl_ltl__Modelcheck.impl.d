@@ -1,0 +1,1 @@
+lib/ltl/modelcheck.ml: Array Formula Sl_buchi Sl_kripke Sl_word Translate

@@ -1,0 +1,1 @@
+lib/ltl/modelcheck.mli: Formula Semantics Sl_buchi Sl_kripke Sl_word

@@ -1,0 +1,1 @@
+lib/ltl/semantics.ml: Array Formula Hashtbl Sl_word String

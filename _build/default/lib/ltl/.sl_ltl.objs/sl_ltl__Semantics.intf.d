@@ -1,0 +1,1 @@
+lib/ltl/semantics.mli: Formula Sl_word

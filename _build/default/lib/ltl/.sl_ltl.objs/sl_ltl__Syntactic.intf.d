@@ -1,0 +1,1 @@
+lib/ltl/syntactic.mli: Format Formula

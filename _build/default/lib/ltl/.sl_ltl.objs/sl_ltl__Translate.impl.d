@@ -1,0 +1,1 @@
+lib/ltl/translate.ml: Array Formula Fun Hashtbl List Sl_buchi

@@ -1,0 +1,1 @@
+lib/ltl/translate.mli: Formula Semantics Sl_buchi

@@ -1,0 +1,59 @@
+module Kripke = Sl_kripke.Kripke
+module Lasso = Sl_word.Lasso
+module Buchi = Sl_buchi.Buchi
+
+let to_buchi (k : Kripke.t) ~valuation ~alphabet =
+  let compatible q s =
+    Array.for_all
+      (fun p -> valuation s p = Kripke.holds k q p)
+      k.Kripke.ap
+  in
+  let delta =
+    Array.init k.Kripke.nstates (fun q ->
+        Array.init alphabet (fun s ->
+            if compatible q s then k.Kripke.successors.(q) else []))
+  in
+  Buchi.make ~alphabet ~nstates:k.Kripke.nstates ~start:k.Kripke.initial
+    ~delta
+    ~accepting:(Array.make k.Kripke.nstates true)
+
+type verdict = Holds | Fails of Lasso.t
+
+let refute product =
+  match Buchi.nonempty_witness product with
+  | None -> Holds
+  | Some w -> Fails w
+
+let check k ~alphabet ~valuation formula =
+  let system = to_buchi k ~valuation ~alphabet in
+  let negated =
+    Translate.translate ~alphabet ~valuation (Formula.Not formula)
+  in
+  refute (Sl_buchi.Ops.intersect system negated)
+
+type split_verdict = {
+  safety_verdict : verdict;
+  liveness_verdict : verdict;
+}
+
+let check_split k ~alphabet ~valuation formula =
+  let system = to_buchi k ~valuation ~alphabet in
+  let spec = Translate.translate ~alphabet ~valuation formula in
+  let d = Sl_buchi.Decompose.decompose spec in
+  (* Safety side: L(K) ∩ ¬L(B_S) with the cheap closed-complement. *)
+  let safety_verdict =
+    refute
+      (Sl_buchi.Ops.intersect system
+         (Sl_buchi.Complement.complement_closed d.Sl_buchi.Decompose.safety))
+  in
+  (* Liveness side: ¬L(B_L) = L(¬φ) ∩ L(B_S) by the decomposition's
+     construction, so no general complementation is needed. *)
+  let negated =
+    Translate.translate ~alphabet ~valuation (Formula.Not formula)
+  in
+  let liveness_verdict =
+    refute
+      (Sl_buchi.Ops.intersect system
+         (Sl_buchi.Ops.intersect negated d.Sl_buchi.Decompose.safety))
+  in
+  { safety_verdict; liveness_verdict }

@@ -1,0 +1,45 @@
+module Kripke = Sl_kripke.Kripke
+module Lasso = Sl_word.Lasso
+
+(** Automata-theoretic LTL model checking, with the safety/liveness split
+    the paper motivates.
+
+    [K ⊨ φ] iff [L(K) ⊆ L(φ)] iff [L(K) ∩ L(¬φ) = ∅] — translate the
+    negation, product with the structure, search for an accepting lasso.
+    Counterexamples come out as lasso-shaped runs.
+
+    {!check_split} performs the same verification through the
+    decomposition: the safety part of [¬φ]'s complement is checked by
+    plain reachability on finite prefixes ("induction on the transition
+    relation"), the liveness part by accepting-cycle search ("construction
+    of well-founded/fair arguments") — the methodological distinction the
+    paper's introduction draws. *)
+
+val to_buchi : Kripke.t -> valuation:Semantics.valuation -> alphabet:int -> Sl_buchi.Buchi.t
+(** The language of a structure: all infinite runs, read through the
+    symbols compatible with each state's labeling. A symbol [s] can be
+    emitted at state [q] iff [valuation s p = holds k q p] for every
+    atomic proposition [p] of the structure. All states accepting. *)
+
+type verdict = Holds | Fails of Lasso.t
+(** A failing verdict carries a lasso word of the structure violating the
+    property. *)
+
+val check :
+  Kripke.t -> alphabet:int -> valuation:Semantics.valuation -> Formula.t ->
+  verdict
+(** [check k ~alphabet ~valuation φ] — the standard product construction
+    with the automaton of [¬φ]. *)
+
+type split_verdict = {
+  safety_verdict : verdict;  (** against the safety part of [φ] *)
+  liveness_verdict : verdict;  (** against the liveness part of [φ] *)
+}
+
+val check_split :
+  Kripke.t -> alphabet:int -> valuation:Semantics.valuation -> Formula.t ->
+  split_verdict
+(** Verify the two parts of [φ]'s decomposition separately. [φ] holds iff
+    both verdicts are [Holds] (Theorem 1 / Theorem 3); a safety
+    counterexample always embeds a finite bad prefix, a liveness one
+    never does. *)

@@ -1,0 +1,1 @@
+lib/mu/mu.ml: Array Format List Printf Result Sl_ctl Sl_kripke String

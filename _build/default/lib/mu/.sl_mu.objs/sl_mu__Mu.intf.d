@@ -1,0 +1,1 @@
+lib/mu/mu.mli: Format Sl_ctl Sl_kripke

@@ -1,0 +1,287 @@
+module Kripke = Sl_kripke.Kripke
+
+type t =
+  | True
+  | False
+  | Prop of string
+  | Var of string
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Diamond of t
+  | Box of t
+  | Mu of string * t
+  | Nu of string * t
+
+let rec pp fmt = function
+  | True -> Format.pp_print_string fmt "true"
+  | False -> Format.pp_print_string fmt "false"
+  | Prop p -> Format.pp_print_string fmt p
+  | Var x -> Format.pp_print_string fmt x
+  | Not f -> Format.fprintf fmt "!%a" pp_atom f
+  | And (a, b) -> Format.fprintf fmt "%a & %a" pp_atom a pp_atom b
+  | Or (a, b) -> Format.fprintf fmt "%a | %a" pp_atom a pp_atom b
+  | Diamond f -> Format.fprintf fmt "<> %a" pp_atom f
+  | Box f -> Format.fprintf fmt "[] %a" pp_atom f
+  | Mu (x, f) -> Format.fprintf fmt "mu %s . %a" x pp f
+  | Nu (x, f) -> Format.fprintf fmt "nu %s . %a" x pp f
+
+and pp_atom fmt f =
+  match f with
+  | True | False | Prop _ | Var _ | Not _ | Diamond _ | Box _ -> pp fmt f
+  | _ -> Format.fprintf fmt "(%a)" pp f
+
+let to_string f = Format.asprintf "%a" pp f
+
+(* --- Parser --- *)
+
+type token =
+  | TTrue | TFalse | TIdent of string | TVar of string
+  | TNot | TAnd | TOr | TImplies
+  | TDiamond | TBox | TMu | TNu | TDot
+  | TLparen | TRparen | TEnd
+
+exception Syntax of string
+
+let tokenize input =
+  let n = String.length input in
+  let is_ident_char c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+    || (c >= '0' && c <= '9') || c = '_'
+  in
+  let rec go i acc =
+    if i >= n then List.rev (TEnd :: acc)
+    else
+      match input.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> go (i + 1) acc
+      | '(' -> go (i + 1) (TLparen :: acc)
+      | ')' -> go (i + 1) (TRparen :: acc)
+      | '.' -> go (i + 1) (TDot :: acc)
+      | '!' -> go (i + 1) (TNot :: acc)
+      | '&' -> go (i + 1) (TAnd :: acc)
+      | '|' -> go (i + 1) (TOr :: acc)
+      | '<' ->
+          if i + 1 < n && input.[i + 1] = '>' then go (i + 2) (TDiamond :: acc)
+          else raise (Syntax "stray '<'")
+      | '[' ->
+          if i + 1 < n && input.[i + 1] = ']' then go (i + 2) (TBox :: acc)
+          else raise (Syntax "stray '['")
+      | '-' ->
+          if i + 1 < n && input.[i + 1] = '>' then go (i + 2) (TImplies :: acc)
+          else raise (Syntax "stray '-'")
+      | c when is_ident_char c ->
+          let j = ref i in
+          while !j < n && is_ident_char input.[!j] do
+            incr j
+          done;
+          let word = String.sub input i (!j - i) in
+          let tok =
+            match word with
+            | "true" -> TTrue
+            | "false" -> TFalse
+            | "mu" -> TMu
+            | "nu" -> TNu
+            | _ ->
+                if word.[0] >= 'A' && word.[0] <= 'Z' then TVar word
+                else TIdent word
+          in
+          go !j (tok :: acc)
+      | c -> raise (Syntax (Printf.sprintf "unexpected '%c'" c))
+  in
+  go 0 []
+
+let parse input =
+  try
+    let tokens = ref (tokenize input) in
+    let peek () = match !tokens with [] -> TEnd | t :: _ -> t in
+    let advance () =
+      match !tokens with [] -> () | _ :: rest -> tokens := rest
+    in
+    let expect t what =
+      if peek () = t then advance () else raise (Syntax ("expected " ^ what))
+    in
+    let rec implies () =
+      let lhs = or_ () in
+      if peek () = TImplies then begin
+        advance ();
+        (* f -> g is !f | g. *)
+        Or (Not lhs, implies ())
+      end
+      else lhs
+    and or_ () =
+      let lhs = ref (and_ ()) in
+      while peek () = TOr do
+        advance ();
+        lhs := Or (!lhs, and_ ())
+      done;
+      !lhs
+    and and_ () =
+      let lhs = ref (unary ()) in
+      while peek () = TAnd do
+        advance ();
+        lhs := And (!lhs, unary ())
+      done;
+      !lhs
+    and unary () =
+      match peek () with
+      | TNot -> advance (); Not (unary ())
+      | TDiamond -> advance (); Diamond (unary ())
+      | TBox -> advance (); Box (unary ())
+      | TMu -> advance (); binder (fun x f -> Mu (x, f))
+      | TNu -> advance (); binder (fun x f -> Nu (x, f))
+      | _ -> atom ()
+    and binder build =
+      match peek () with
+      | TVar x ->
+          advance ();
+          expect TDot "'.'";
+          build x (implies ())
+      | _ -> raise (Syntax "expected a fixpoint variable")
+    and atom () =
+      match peek () with
+      | TTrue -> advance (); True
+      | TFalse -> advance (); False
+      | TIdent p -> advance (); Prop p
+      | TVar x -> advance (); Var x
+      | TLparen ->
+          advance ();
+          let f = implies () in
+          expect TRparen "')'";
+          f
+      | _ -> raise (Syntax "expected a formula")
+    in
+    let f = implies () in
+    expect TEnd "end of input";
+    Ok f
+  with Syntax msg -> Error msg
+
+let parse_exn input =
+  match parse input with
+  | Ok f -> f
+  | Error msg -> invalid_arg ("Mu.parse_exn: " ^ msg)
+
+(* --- Static checks --- *)
+
+let well_named f =
+  let ok = ref true in
+  let rec go bound = function
+    | True | False | Prop _ -> ()
+    | Var _ -> ()
+    | Not g | Diamond g | Box g -> go bound g
+    | And (a, b) | Or (a, b) -> go bound a; go bound b
+    | Mu (x, g) | Nu (x, g) ->
+        if List.mem x bound then ok := false else go (x :: bound) g
+  in
+  go [] f;
+  !ok
+
+(* Bound variables must sit under an even number of negations. *)
+let positive f =
+  let ok = ref true in
+  let rec go polarity bound = function
+    | True | False | Prop _ -> ()
+    | Var x -> if List.mem x bound && not polarity then ok := false
+    | Not g -> go (not polarity) bound g
+    | And (a, b) | Or (a, b) -> go polarity bound a; go polarity bound b
+    | Diamond g | Box g -> go polarity bound g
+    | Mu (x, g) | Nu (x, g) -> go polarity (x :: bound) g
+  in
+  go true [] f;
+  !ok
+
+let free_variables f =
+  let rec go bound acc = function
+    | True | False | Prop _ -> acc
+    | Var x -> if List.mem x bound then acc else x :: acc
+    | Not g | Diamond g | Box g -> go bound acc g
+    | And (a, b) | Or (a, b) -> go bound (go bound acc a) b
+    | Mu (x, g) | Nu (x, g) -> go (x :: bound) acc g
+  in
+  List.sort_uniq String.compare (go [] [] f)
+
+(* --- Model checking --- *)
+
+let sat (k : Kripke.t) formula =
+  if not (well_named formula) then Error "variable bound twice"
+  else if not (positive formula) then
+    Error "bound variable under an odd number of negations"
+  else if free_variables formula <> [] then
+    Error
+      ("free variables: " ^ String.concat ", " (free_variables formula))
+  else begin
+    let n = k.nstates in
+    let rec eval env = function
+      | True -> Array.make n true
+      | False -> Array.make n false
+      | Prop p -> Array.init n (fun q -> Kripke.holds k q p)
+      | Var x -> List.assoc x env
+      | Not f -> Array.map not (eval env f)
+      | And (a, b) ->
+          let va = eval env a and vb = eval env b in
+          Array.init n (fun q -> va.(q) && vb.(q))
+      | Or (a, b) ->
+          let va = eval env a and vb = eval env b in
+          Array.init n (fun q -> va.(q) || vb.(q))
+      | Diamond f ->
+          let v = eval env f in
+          Array.init n (fun q ->
+              List.exists (fun q' -> v.(q')) k.successors.(q))
+      | Box f ->
+          let v = eval env f in
+          Array.init n (fun q ->
+              List.for_all (fun q' -> v.(q')) k.successors.(q))
+      | Mu (x, f) -> fixpoint env x f (Array.make n false)
+      | Nu (x, f) -> fixpoint env x f (Array.make n true)
+    and fixpoint env x f start =
+      (* Knaster–Tarski iteration; converges within n+1 rounds on a
+         monotone body. *)
+      let current = ref start in
+      let continue_ = ref true in
+      while !continue_ do
+        let next = eval ((x, !current) :: env) f in
+        if next = !current then continue_ := false else current := next
+      done;
+      !current
+    in
+    Ok (eval [] formula)
+  end
+
+let holds k formula =
+  Result.map (fun v -> v.(k.Kripke.initial)) (sat k formula)
+
+(* --- CTL embedding --- *)
+
+let fresh =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    Printf.sprintf "Z%d" !counter
+
+let rec of_ctl : Sl_ctl.Ctl.t -> t = function
+  | True -> True
+  | False -> False
+  | Prop p -> Prop p
+  | Not f -> Not (of_ctl f)
+  | And (a, b) -> And (of_ctl a, of_ctl b)
+  | Or (a, b) -> Or (of_ctl a, of_ctl b)
+  | Implies (a, b) -> Or (Not (of_ctl a), of_ctl b)
+  | EX f -> Diamond (of_ctl f)
+  | AX f -> Box (of_ctl f)
+  | EF f ->
+      let x = fresh () in
+      Mu (x, Or (of_ctl f, Diamond (Var x)))
+  | AF f ->
+      let x = fresh () in
+      Mu (x, Or (of_ctl f, Box (Var x)))
+  | EG f ->
+      let x = fresh () in
+      Nu (x, And (of_ctl f, Diamond (Var x)))
+  | AG f ->
+      let x = fresh () in
+      Nu (x, And (of_ctl f, Box (Var x)))
+  | EU (a, b) ->
+      let x = fresh () in
+      Mu (x, Or (of_ctl b, And (of_ctl a, Diamond (Var x))))
+  | AU (a, b) ->
+      let x = fresh () in
+      Mu (x, Or (of_ctl b, And (of_ctl a, Box (Var x))))

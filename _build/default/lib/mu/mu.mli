@@ -1,0 +1,60 @@
+module Kripke = Sl_kripke.Kripke
+
+(** The propositional modal µ-calculus over Kripke structures.
+
+    The paper lists the µ-calculus (Kozen, its reference [11]) among the
+    branching-time formalisms its framework covers; this module provides
+    it as a substrate: syntax with fixpoint binders, the standard
+    fixpoint-iteration model checker (naive semantics, sound for all
+    formulas in {e positive normal form} — every bound variable under an
+    even number of negations, enforced at {!check} time), and the
+    classical embedding of CTL, which the tests replay against the direct
+    CTL model checker.
+
+    Closures and fixpoints meet here too: for a monotone [f], the least
+    fixpoint computed by {!sat} is the least [cl]-closed point above ⊥ —
+    the same Knaster–Tarski engine as [Sl_lattice.Closure]. *)
+
+type t =
+  | True
+  | False
+  | Prop of string
+  | Var of string
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Diamond of t  (** ◇f: some successor satisfies f (EX) *)
+  | Box of t  (** □f: every successor satisfies f (AX) *)
+  | Mu of string * t  (** least fixpoint µX. f *)
+  | Nu of string * t  (** greatest fixpoint νX. f *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val parse : string -> (t, string) result
+(** Syntax: [mu X . f], [nu X . f], [<> f], [[] f], booleans as in LTL;
+    variables are capitalized identifiers. *)
+
+val parse_exn : string -> t
+
+val well_named : t -> bool
+(** No variable is bound twice or used free-and-bound. *)
+
+val positive : t -> bool
+(** Every bound variable occurs under an even number of negations inside
+    its binder — the monotonicity condition that makes the fixpoints
+    exist (Knaster–Tarski). *)
+
+val sat : Kripke.t -> t -> (bool array, string) result
+(** Fixpoint-iteration model checking. [Error] on non-positive or
+    ill-named formulas, or free variables. *)
+
+val holds : Kripke.t -> t -> (bool, string) result
+
+(** {1 CTL embedding} *)
+
+val of_ctl : Sl_ctl.Ctl.t -> t
+(** The textbook translation: [EX f = ◇f], [EG f = νX. f ∧ ◇X],
+    [E(f U g) = µX. g ∨ (f ∧ ◇X)], universal modalities via □, the rest
+    by duality. The tests check [sat (of_ctl f) = Ctl.sat f] on the
+    structure corpus. *)

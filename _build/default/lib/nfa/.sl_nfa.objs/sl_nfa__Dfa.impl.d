@@ -1,0 +1,1 @@
+lib/nfa/dfa.ml: Array Format Hashtbl List Option Queue

@@ -1,0 +1,1 @@
+lib/nfa/dfa.mli: Format

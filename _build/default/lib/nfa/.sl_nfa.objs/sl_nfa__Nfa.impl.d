@@ -1,0 +1,1 @@
+lib/nfa/nfa.ml: Array Dfa Format Fun Hashtbl List String

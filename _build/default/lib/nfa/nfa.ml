@@ -1,0 +1,219 @@
+type t = {
+  alphabet : int;
+  nstates : int;
+  starts : int list;
+  delta : int list array array;
+  accepting : bool array;
+}
+
+let make ~alphabet ~nstates ~starts ~delta ~accepting =
+  if alphabet < 1 then invalid_arg "Nfa.make: empty alphabet";
+  if nstates < 0 then invalid_arg "Nfa.make: negative state count";
+  let check_state q =
+    if q < 0 || q >= nstates then invalid_arg "Nfa.make: state out of range"
+  in
+  List.iter check_state starts;
+  if Array.length delta <> nstates || Array.length accepting <> nstates then
+    invalid_arg "Nfa.make: shape mismatch";
+  Array.iter
+    (fun row ->
+      if Array.length row <> alphabet then invalid_arg "Nfa.make: row shape";
+      Array.iter (List.iter check_state) row)
+    delta;
+  { alphabet; nstates; starts; delta; accepting }
+
+let empty ~alphabet =
+  make ~alphabet ~nstates:0 ~starts:[] ~delta:[||] ~accepting:[||]
+
+let successors n set s =
+  List.concat_map (fun q -> n.delta.(q).(s)) set |> List.sort_uniq compare
+
+let accepts n word =
+  let final =
+    List.fold_left (fun set s -> successors n set s)
+      (List.sort_uniq compare n.starts)
+      word
+  in
+  List.exists (fun q -> n.accepting.(q)) final
+
+let reachable n =
+  let seen = Array.make n.nstates false in
+  let rec visit q =
+    if not seen.(q) then begin
+      seen.(q) <- true;
+      Array.iter (List.iter visit) n.delta.(q)
+    end
+  in
+  List.iter visit n.starts;
+  seen
+
+let co_reachable n =
+  let can = Array.copy n.accepting in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for q = 0 to n.nstates - 1 do
+      if
+        (not can.(q))
+        && Array.exists (List.exists (fun q' -> can.(q'))) n.delta.(q)
+      then begin
+        can.(q) <- true;
+        changed := true
+      end
+    done
+  done;
+  can
+
+let restrict n keep =
+  let remap = Array.make n.nstates (-1) in
+  let count = ref 0 in
+  Array.iteri
+    (fun q k ->
+      if k then begin
+        remap.(q) <- !count;
+        incr count
+      end)
+    keep;
+  let nstates = !count in
+  let delta = Array.make_matrix nstates n.alphabet [] in
+  Array.iteri
+    (fun q k ->
+      if k then
+        Array.iteri
+          (fun s succs ->
+            delta.(remap.(q)).(s) <-
+              List.filter_map
+                (fun q' -> if keep.(q') then Some remap.(q') else None)
+                succs)
+          n.delta.(q))
+    keep;
+  let accepting = Array.make nstates false in
+  Array.iteri (fun q k -> if k then accepting.(remap.(q)) <- n.accepting.(q))
+    keep;
+  let starts = List.filter_map (fun q ->
+      if keep.(q) then Some remap.(q) else None) n.starts in
+  make ~alphabet:n.alphabet ~nstates ~starts ~delta ~accepting
+
+let trim n =
+  let reach = reachable n and co = co_reachable n in
+  restrict n (Array.init n.nstates (fun q -> reach.(q) && co.(q)))
+
+let determinize n =
+  let table = Hashtbl.create 64 in
+  let states = ref [] in
+  let count = ref 0 in
+  let intern set =
+    match Hashtbl.find_opt table set with
+    | Some i -> i
+    | None ->
+        let i = !count in
+        incr count;
+        Hashtbl.add table set i;
+        states := set :: !states;
+        i
+  in
+  let start_set = List.sort_uniq compare n.starts in
+  let start = intern start_set in
+  let transitions = ref [] in
+  let rec explore set =
+    let i = Hashtbl.find table set in
+    if not (List.mem_assoc i !transitions) then begin
+      let row =
+        Array.init n.alphabet (fun s ->
+            let succ = successors n set s in
+            let fresh = not (Hashtbl.mem table succ) in
+            let j = intern succ in
+            if fresh then explore succ;
+            j)
+      in
+      transitions := (i, (set, row)) :: !transitions
+    end
+  in
+  explore start_set;
+  let nstates = !count in
+  let delta = Array.make nstates [||] in
+  let accepting = Array.make nstates false in
+  List.iter
+    (fun (i, (set, row)) ->
+      delta.(i) <- row;
+      accepting.(i) <- List.exists (fun q -> n.accepting.(q)) set)
+    !transitions;
+  Dfa.make ~alphabet:n.alphabet ~nstates ~start ~delta ~accepting
+
+let union a b =
+  if a.alphabet <> b.alphabet then invalid_arg "Nfa.union: alphabets differ";
+  let shift = a.nstates in
+  let nstates = a.nstates + b.nstates in
+  let delta = Array.make_matrix nstates a.alphabet [] in
+  Array.iteri (fun q row -> Array.iteri (fun s l -> delta.(q).(s) <- l) row)
+    a.delta;
+  Array.iteri
+    (fun q row ->
+      Array.iteri
+        (fun s l -> delta.(q + shift).(s) <- List.map (( + ) shift) l)
+        row)
+    b.delta;
+  let accepting = Array.make nstates false in
+  Array.iteri (fun q acc -> accepting.(q) <- acc) a.accepting;
+  Array.iteri (fun q acc -> accepting.(q + shift) <- acc) b.accepting;
+  make ~alphabet:a.alphabet ~nstates
+    ~starts:(a.starts @ List.map (( + ) shift) b.starts)
+    ~delta ~accepting
+
+let is_empty n =
+  let reach = reachable n in
+  let found = ref false in
+  Array.iteri (fun q r -> if r && n.accepting.(q) then found := true) reach;
+  not !found
+
+let language_equal a b = Dfa.equivalent (determinize a) (determinize b)
+let is_prefix_closed n = Dfa.is_prefix_closed (determinize n)
+
+let prefix_closure n =
+  let t = trim n in
+  { t with accepting = Array.make t.nstates true }
+
+let reverse n =
+  let delta = Array.make_matrix n.nstates n.alphabet [] in
+  Array.iteri
+    (fun q row ->
+      Array.iteri
+        (fun s succs ->
+          List.iter (fun q' -> delta.(q').(s) <- q :: delta.(q').(s)) succs)
+        row)
+    n.delta;
+  Array.iter
+    (fun row -> Array.iteri (fun s l -> row.(s) <- List.sort_uniq compare l) row)
+    delta;
+  let starts =
+    List.filter (fun q -> n.accepting.(q)) (List.init n.nstates Fun.id)
+  in
+  let accepting = Array.make n.nstates false in
+  List.iter (fun q -> accepting.(q) <- true) n.starts;
+  make ~alphabet:n.alphabet ~nstates:n.nstates ~starts ~delta ~accepting
+
+let reverse_determinize_minimize n = Dfa.minimize (determinize n)
+
+(* Brzozowski: the determinization of a co-deterministic automaton is
+   minimal; reversing twice restores the language. *)
+let brzozowski_minimize n =
+  let of_dfa (d : Dfa.t) =
+    make ~alphabet:d.Dfa.alphabet ~nstates:d.Dfa.nstates
+      ~starts:[ d.Dfa.start ]
+      ~delta:(Array.map (Array.map (fun q -> [ q ])) d.Dfa.delta)
+      ~accepting:(Array.copy d.Dfa.accepting)
+  in
+  determinize (of_dfa (determinize (reverse n)) |> reverse)
+
+let pp fmt n =
+  Format.fprintf fmt "@[<v>nfa(%d states, starts %s)@," n.nstates
+    (String.concat "," (List.map string_of_int n.starts));
+  for q = 0 to n.nstates - 1 do
+    Format.fprintf fmt "  %d%s:" q (if n.accepting.(q) then "*" else "");
+    Array.iteri
+      (fun s succs ->
+        List.iter (fun q' -> Format.fprintf fmt " %d->%d" s q') succs)
+      n.delta.(q);
+    Format.fprintf fmt "@,"
+  done;
+  Format.fprintf fmt "@]"

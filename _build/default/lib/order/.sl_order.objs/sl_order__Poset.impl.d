@@ -1,0 +1,1 @@
+lib/order/poset.ml: Array Buffer Format Fun List Printf

@@ -1,0 +1,1 @@
+lib/order/poset.mli: Format

@@ -1,0 +1,1 @@
+lib/rabin/closure.mli: Rabin

@@ -1,0 +1,1 @@
+lib/rabin/decompose.ml: Closure Format Fun List Rabin Sl_tree

@@ -1,0 +1,1 @@
+lib/rabin/decompose.mli: Rabin Sl_tree

@@ -1,0 +1,1 @@
+lib/rabin/patterns.ml: List Rabin Sl_tree

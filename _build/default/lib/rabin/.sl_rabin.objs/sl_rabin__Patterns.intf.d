@@ -1,0 +1,1 @@
+lib/rabin/patterns.mli: Rabin Sl_tree

@@ -1,0 +1,1 @@
+lib/rabin/rabin.ml: Array Format Fun Hashtbl List Sl_tree String

@@ -1,0 +1,1 @@
+lib/rabin/rabin.mli: Format Sl_tree

@@ -1,0 +1,16 @@
+let rfcl (b : Rabin.t) =
+  if Rabin.is_empty b then b
+  else begin
+    let keep = Rabin.nonempty_states b in
+    let pruned = Rabin.restrict b keep in
+    { pruned with
+      Rabin.pairs = Rabin.trivial_condition ~nstates:pruned.Rabin.nstates }
+  end
+
+let is_closure_shaped (b : Rabin.t) =
+  match b.Rabin.pairs with
+  | [ (green, red) ] ->
+      Array.for_all Fun.id green
+      && (not (Array.exists Fun.id red))
+      && Array.for_all Fun.id (Rabin.nonempty_states b)
+  | _ -> false

@@ -1,0 +1,18 @@
+(** The finite-depth closure of a Rabin tree automaton (Section 4.4).
+
+    "We define the finite depth closure, rfcl, of an automaton as follows:
+    if L.B = ∅, rfcl.B = B; otherwise rfcl.B = (Σ, Q', q0, δ', Φ') where
+    Φ' … holds along all paths and is generated from {(Q, ∅)}" — with Q'
+    the states of nonempty language and δ' the restriction. [14] proves
+    [L (rfcl B) = fcl (L B)]; here that equation is validated by the test
+    suite against the independent {!Rabin.extends} oracle on sampled
+    regular trees. *)
+
+val rfcl : Rabin.t -> Rabin.t
+(** Büchi-shaped automata only (the per-state emptiness test needs it;
+    every automaton this library constructs, including [rfcl] outputs, is
+    Büchi-shaped). @raise Invalid_argument otherwise. *)
+
+val is_closure_shaped : Rabin.t -> bool
+(** Trivial acceptance condition and every state nonempty — the invariant
+    [rfcl] establishes on nonempty automata. *)

@@ -1,0 +1,84 @@
+module Rtree = Sl_tree.Rtree
+module Ftree = Sl_tree.Ftree
+
+type t = {
+  original : Rabin.t;
+  safe : Rabin.t;
+  live_mem : Rtree.t -> bool;
+}
+
+let decompose b =
+  let safe = Closure.rfcl b in
+  { original = b; safe;
+    live_mem = (fun t -> Rabin.accepts b t || not (Rabin.accepts safe t)) }
+
+let fcl_mem b ~max_depth t =
+  List.for_all
+    (fun d -> Rabin.extends b (Rtree.unfold t ~depth:d))
+    (List.init (max_depth + 1) Fun.id)
+
+let verify_sampled ?(max_depth = 3) ~trees d =
+  let failures = ref [] in
+  let record claim diag = failures := (claim, diag) :: !failures in
+  List.iter
+    (fun y ->
+      let in_safe = Rabin.accepts d.safe y in
+      let in_fcl = fcl_mem d.original ~max_depth y in
+      if in_safe <> in_fcl then
+        record "L(rfcl B) <> fcl L(B)"
+          (Format.asprintf "tree %a: automaton %b, oracle %b" Rtree.pp y
+             in_safe in_fcl);
+      (* Safety part closed: fcl of the safe language agrees with it. *)
+      if fcl_mem d.safe ~max_depth y <> in_safe then
+        record "safety part not fcl-closed"
+          (Format.asprintf "tree %a" Rtree.pp y);
+      (* Meet recovers the original language. *)
+      let lhs = Rabin.accepts d.original y in
+      let rhs = in_safe && d.live_mem y in
+      if lhs <> rhs then
+        record "L(B) <> L(B_safe) /\\ live"
+          (Format.asprintf "tree %a: %b vs %b" Rtree.pp y lhs rhs);
+      (* Liveness density evidence: a truncation not extendable into L(B)
+         expels every extension from L(B_safe) = fcl L(B). *)
+      List.iter
+        (fun depth ->
+          let x = Rtree.unfold y ~depth in
+          if not (Rabin.extends d.original x) && in_safe then
+            record "liveness part not dense"
+              (Format.asprintf "prefix of %a at depth %d" Rtree.pp y depth))
+        (List.init (max_depth + 1) Fun.id))
+    trees;
+  List.rev !failures
+
+let is_safe_language ?(max_depth = 3) ~trees b =
+  List.for_all
+    (fun y -> Rabin.accepts b y = fcl_mem b ~max_depth y)
+    trees
+
+(* Enumerate full k-branching prefixes of the given depth (all nodes at
+   depth < n have exactly k children) over the automaton's alphabet. *)
+let k_branching_prefixes ~alphabet ~k ~depth =
+  let rec shapes d =
+    if d = 0 then List.init alphabet Ftree.singleton
+    else begin
+      let sub = shapes (d - 1) in
+      let rec kids i =
+        if i = 0 then [ [] ]
+        else
+          List.concat_map (fun tail -> List.map (fun t -> t :: tail) sub)
+            (kids (i - 1))
+      in
+      List.concat_map
+        (fun lbl -> List.map (Ftree.of_children lbl) (kids k))
+        (List.init alphabet Fun.id)
+    end
+  in
+  shapes depth
+
+let is_live_language ?(max_depth = 2) (b : Rabin.t) =
+  List.for_all
+    (fun d ->
+      List.for_all (Rabin.extends b)
+        (k_branching_prefixes ~alphabet:b.Rabin.alphabet ~k:b.Rabin.k
+           ~depth:d))
+    (List.init (max_depth + 1) Fun.id)

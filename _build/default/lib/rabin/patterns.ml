@@ -1,0 +1,52 @@
+(* Symbol 0 is a, symbol 1 is b; delta rows are indexed by symbol. *)
+let tuples l = List.map (fun (x, y) -> [| x; y |]) l
+
+(* States: 0 = waiting for b on this path, 1 = satisfied sink. *)
+let af_b =
+  let delta =
+    [| [| tuples [ (0, 0) ]; tuples [ (1, 1) ] |];
+       [| tuples [ (1, 1) ]; tuples [ (1, 1) ] |] |]
+  in
+  Rabin.make ~alphabet:2 ~k:2 ~nstates:2 ~start:0 ~delta
+    ~pairs:(Rabin.buchi_condition ~nstates:2 ~accepting:[ 1 ])
+
+let ag_a =
+  let delta = [| [| tuples [ (0, 0) ]; [] |] |] in
+  Rabin.make ~alphabet:2 ~k:2 ~nstates:1 ~start:0 ~delta
+    ~pairs:(Rabin.buchi_condition ~nstates:1 ~accepting:[ 0 ])
+
+(* States: 0 = searcher (owes a b on its path), 1 = universal sink
+   accepting anything. *)
+let ef_b =
+  let delta =
+    [| [| tuples [ (0, 1); (1, 0) ]; tuples [ (1, 1) ] |];
+       [| tuples [ (1, 1) ]; tuples [ (1, 1) ] |] |]
+  in
+  Rabin.make ~alphabet:2 ~k:2 ~nstates:2 ~start:0 ~delta
+    ~pairs:(Rabin.buchi_condition ~nstates:2 ~accepting:[ 1 ])
+
+(* States: 0 = rider of the all-a path, 1 = universal sink. The rider can
+   only read a. *)
+let eg_a =
+  let delta =
+    [| [| tuples [ (0, 1); (1, 0) ]; [] |];
+       [| tuples [ (1, 1) ]; tuples [ (1, 1) ] |] |]
+  in
+  Rabin.make ~alphabet:2 ~k:2 ~nstates:2 ~start:0 ~delta
+    ~pairs:(Rabin.buchi_condition ~nstates:2 ~accepting:[ 0; 1 ])
+
+(* States: 0 = root check (must read a), 1 = waiting for b, 2 = sink. *)
+let q3a =
+  let delta =
+    [| [| tuples [ (1, 1) ]; [] |];
+       [| tuples [ (1, 1) ]; tuples [ (2, 2) ] |];
+       [| tuples [ (2, 2) ]; tuples [ (2, 2) ] |] |]
+  in
+  Rabin.make ~alphabet:2 ~k:2 ~nstates:3 ~start:0 ~delta
+    ~pairs:(Rabin.buchi_condition ~nstates:3 ~accepting:[ 2 ])
+
+let all =
+  [ ("AF b", af_b); ("AG a", ag_a); ("EF b", ef_b); ("EG a", eg_a);
+    ("q3a", q3a) ]
+
+let sample_trees = Sl_tree.Rtree.enumerate ~alphabet:2 ~k:2 ~max_states:2

@@ -1,0 +1,27 @@
+(** Named Büchi-shaped tree automata on binary trees over [{a = 0, b = 1}]
+    — the branching-time analogues of [Sl_buchi.Patterns], used to
+    exercise Theorem 9. *)
+
+val af_b : Rabin.t
+(** "along every path, eventually [b]" ([AF b]); the closure of the
+    paper's AFp discussion. *)
+
+val ag_a : Rabin.t
+(** "every node is [a]" ([AG a]) — a safety language. *)
+
+val ef_b : Rabin.t
+(** "some path hits [b]" ([EF b]): a searcher token is routed down one
+    branch. *)
+
+val eg_a : Rabin.t
+(** "some path is all-[a]" ([EG a]). *)
+
+val q3a : Rabin.t
+(** the paper's q3a: root labeled [a] and along every path eventually
+    [¬a]. *)
+
+val all : (string * Rabin.t) list
+
+val sample_trees : Sl_tree.Rtree.t list
+(** Binary regular trees with at most 2 presentation states — the sample
+    Theorem 9's checks run over. *)

@@ -1,0 +1,1 @@
+lib/regex/omega.ml: Array Format List Regex Sl_buchi Sl_nfa Sl_word String

@@ -1,0 +1,1 @@
+lib/regex/omega.mli: Format Regex Sl_buchi Sl_word

@@ -1,0 +1,1 @@
+lib/regex/regex.ml: Array Char Format List Sl_nfa String

@@ -1,0 +1,1 @@
+lib/regex/regex.mli: Format Sl_nfa

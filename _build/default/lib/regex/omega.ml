@@ -1,0 +1,186 @@
+module Lasso = Sl_word.Lasso
+module Nfa = Sl_nfa.Nfa
+module Buchi = Sl_buchi.Buchi
+
+type t = (Regex.t * Regex.t) list
+
+let pp fmt pairs =
+  match pairs with
+  | [] -> Format.pp_print_string fmt "_0^w"
+  | _ ->
+      Format.pp_print_list
+        ~pp_sep:(fun fmt () -> Format.pp_print_string fmt " + ")
+        (fun fmt (u, v) ->
+          Format.fprintf fmt "%a(%a)^w" Regex.pp_tight u Regex.pp v)
+        fmt pairs
+
+let to_string o = Format.asprintf "%a" pp o
+
+let parse input =
+  (* Split on '+' at depth 0, then each summand on the final "(...)^w". *)
+  let split_top input =
+    let parts = ref [] in
+    let depth = ref 0 in
+    let start = ref 0 in
+    String.iteri
+      (fun i c ->
+        match c with
+        | '(' -> incr depth
+        | ')' -> decr depth
+        | '+' when !depth = 0 ->
+            parts := String.sub input !start (i - !start) :: !parts;
+            start := i + 1
+        | _ -> ())
+      input;
+    List.rev (String.sub input !start (String.length input - !start)
+              :: !parts)
+  in
+  let parse_pair part =
+    let part = String.trim part in
+    let n = String.length part in
+    if n < 4 || String.sub part (n - 2) 2 <> "^w" then
+      Error "summand must end in (...)^w"
+    else begin
+      (* Find the '(' matching the ')' just before "^w". *)
+      let close = n - 3 in
+      if close < 0 || part.[close] <> ')' then
+        Error "summand must end in (...)^w"
+      else begin
+        let depth = ref 0 in
+        let open_pos = ref (-1) in
+        (try
+           for i = close downto 0 do
+             (match part.[i] with
+             | ')' -> incr depth
+             | '(' ->
+                 decr depth;
+                 if !depth = 0 then begin
+                   open_pos := i;
+                   raise Exit
+                 end
+             | _ -> ())
+           done
+         with Exit -> ());
+        if !open_pos < 0 then Error "unbalanced parentheses"
+        else begin
+          let u_src = String.trim (String.sub part 0 !open_pos) in
+          let v_src = String.sub part (!open_pos + 1) (close - !open_pos - 1) in
+          let u_result =
+            if u_src = "" then Ok Regex.Eps else Regex.parse u_src
+          in
+          match (u_result, Regex.parse v_src) with
+          | Ok u, Ok v -> Ok (u, v)
+          | Error e, _ | _, Error e -> Error e
+        end
+      end
+    end
+  in
+  let rec collect = function
+    | [] -> Ok []
+    | part :: rest -> (
+        match (parse_pair part, collect rest) with
+        | Ok p, Ok ps -> Ok (p :: ps)
+        | (Error e, _ | _, Error e) -> Error e)
+  in
+  collect (split_top input)
+
+let parse_exn input =
+  match parse input with
+  | Ok o -> o
+  | Error msg -> invalid_arg ("Omega.parse_exn: " ^ msg)
+
+(* v^ω over an NFA for L(v) \ {ε}: a fresh restart state 0 (the unique
+   accepting state) carries v's initial transitions; every transition
+   that completes a v-segment also returns to 0. *)
+let omega_power ~alphabet v =
+  let n = Regex.to_nfa ~alphabet (Regex.strip_eps v) in
+  if Nfa.is_empty n then Buchi.empty_language ~alphabet
+  else begin
+    let shift = 1 in
+    let nstates = n.Nfa.nstates + 1 in
+    let initial s = List.map (( + ) shift) (Nfa.successors n n.Nfa.starts s) in
+    let returns_to_start q' = n.Nfa.accepting.(q') in
+    let with_restart own =
+      (* A transition completing a v-segment (landing on an accepting
+         state of the segment NFA) may instead restart at 0. *)
+      let back =
+        if
+          List.exists
+            (fun q -> q >= shift && returns_to_start (q - shift))
+            own
+        then [ 0 ]
+        else []
+      in
+      List.sort_uniq compare (own @ back)
+    in
+    let delta =
+      Array.init nstates (fun q ->
+          Array.init alphabet (fun s ->
+              if q = 0 then with_restart (initial s)
+              else
+                with_restart
+                  (List.map (( + ) shift) n.Nfa.delta.(q - shift).(s))))
+    in
+    let accepting = Array.init nstates (fun q -> q = 0) in
+    Buchi.make ~alphabet ~nstates ~start:0 ~delta ~accepting
+  end
+
+(* u · B for an NFA u and a Büchi automaton B: fresh start; u-accepting
+   states acquire B's start transitions. *)
+let concat_nfa_buchi ~alphabet u (b : Buchi.t) =
+  let m = Regex.to_nfa ~alphabet u in
+  if m.Nfa.nstates = 0 then Buchi.empty_language ~alphabet
+  else begin
+    (* Layout: 0 fresh start | u states (1..) | b states. *)
+    let u_shift = 1 in
+    let b_shift = 1 + m.Nfa.nstates in
+    let nstates = 1 + m.Nfa.nstates + b.Buchi.nstates in
+    let b_start_row s =
+      List.map (( + ) b_shift) b.Buchi.delta.(b.Buchi.start).(s)
+    in
+    let u_row q s =
+      let own = List.map (( + ) u_shift) m.Nfa.delta.(q).(s) in
+      if m.Nfa.accepting.(q) then
+        List.sort_uniq compare (own @ b_start_row s)
+      else own
+    in
+    let u_has_eps = List.exists (fun q -> m.Nfa.accepting.(q)) m.Nfa.starts in
+    let delta =
+      Array.init nstates (fun q ->
+          Array.init alphabet (fun s ->
+              if q = 0 then begin
+                let into_u =
+                  List.concat_map (fun q0 -> u_row q0 s) m.Nfa.starts
+                in
+                let into_b = if u_has_eps then b_start_row s else [] in
+                List.sort_uniq compare (into_u @ into_b)
+              end
+              else if q < b_shift then u_row (q - u_shift) s
+              else
+                List.map (( + ) b_shift) b.Buchi.delta.(q - b_shift).(s)))
+    in
+    let accepting =
+      Array.init nstates (fun q ->
+          q >= b_shift && b.Buchi.accepting.(q - b_shift))
+    in
+    Buchi.make ~alphabet ~nstates ~start:0 ~delta ~accepting
+  end
+
+let to_buchi ~alphabet pairs =
+  let parts =
+    List.map
+      (fun (u, v) -> concat_nfa_buchi ~alphabet u (omega_power ~alphabet v))
+      pairs
+  in
+  Sl_buchi.Ops.union_list ~alphabet parts
+
+let accepts_lasso ~alphabet o w = Buchi.accepts_lasso (to_buchi ~alphabet o) w
+
+let rem_examples =
+  [ ("p0", []);
+    ("p1", [ (Regex.parse_exn "a", Regex.parse_exn "a|b") ]);
+    ("p2", [ (Regex.parse_exn "b", Regex.parse_exn "a|b") ]);
+    ("p3", [ (Regex.parse_exn "aa*b", Regex.parse_exn "a|b") ]);
+    ("p4", [ (Regex.parse_exn "(a|b)*", Regex.parse_exn "b") ]);
+    ("p5", [ (Regex.Eps, Regex.parse_exn "b*a") ]);
+    ("p6", [ (Regex.Eps, Regex.parse_exn "a|b") ]) ]

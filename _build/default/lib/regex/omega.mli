@@ -1,0 +1,32 @@
+module Lasso = Sl_word.Lasso
+
+(** ω-regular expressions: finite unions [⋃ U_i · (V_i)^ω].
+
+    Büchi's normal form — every ω-regular language has this shape, so this
+    module closes the triangle of presentations used by the tests:
+    ω-regex ↔ Büchi automata ↔ LTL, all probed on the lasso grid. *)
+
+type t = (Regex.t * Regex.t) list
+(** Each pair [(u, v)] denotes [L(u) · (L(v) \ {ε})^ω]; the union of the
+    pairs denotes the language. An empty list is ∅. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val parse : string -> (t, string) result
+(** Concrete syntax: [u(v)^w + u'(v')^w + …]; [u] may be omitted (then
+    [u = ε]). Example: ["(a|b)*(b)^w + a(a)^w"]. *)
+
+val parse_exn : string -> t
+
+val to_buchi : alphabet:int -> t -> Sl_buchi.Buchi.t
+(** The classical construction: for each pair, the NFA of [u] is spliced
+    onto a loop automaton for [v^ω] whose restart state is the unique
+    accepting state; pairs are joined by Büchi union. *)
+
+val accepts_lasso : alphabet:int -> t -> Lasso.t -> bool
+(** Through {!to_buchi}. *)
+
+val rem_examples : (string * t) list
+(** Rem's p0–p6 written as ω-regexes over [{a, b}] — tested language-equal
+    to the hand-built automata and the LTL translations. *)

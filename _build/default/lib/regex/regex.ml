@@ -1,0 +1,207 @@
+module Nfa = Sl_nfa.Nfa
+
+type t =
+  | Empty
+  | Eps
+  | Sym of int
+  | Alt of t * t
+  | Seq of t * t
+  | Star of t
+
+let rec pp fmt = function
+  | Empty -> Format.pp_print_string fmt "_0"
+  | Eps -> Format.pp_print_string fmt "_1"
+  | Sym s ->
+      if s < 10 then Format.fprintf fmt "%c" (Char.chr (Char.code 'a' + s))
+      else Format.fprintf fmt "<%d>" s
+  | Alt (a, b) -> Format.fprintf fmt "%a|%a" pp a pp b
+  | Seq (a, b) -> Format.fprintf fmt "%a%a" pp_tight a pp_tight b
+  | Star a -> Format.fprintf fmt "%a*" pp_tight a
+
+and pp_tight fmt f =
+  match f with
+  | Alt _ | Seq _ -> Format.fprintf fmt "(%a)" pp f
+  | _ -> pp fmt f
+
+let to_string r = Format.asprintf "%a" pp r
+
+(* --- Parser --- *)
+
+exception Syntax of string
+
+let parse input =
+  try
+    let n = String.length input in
+    let pos = ref 0 in
+    let peek () = if !pos < n then Some input.[!pos] else None in
+    let advance () = incr pos in
+    let rec skip_ws () =
+      match peek () with
+      | Some (' ' | '\t') -> advance (); skip_ws ()
+      | _ -> ()
+    in
+    let rec alt () =
+      let lhs = ref (seq ()) in
+      skip_ws ();
+      while peek () = Some '|' do
+        advance ();
+        lhs := Alt (!lhs, seq ());
+        skip_ws ()
+      done;
+      !lhs
+    and seq () =
+      let item = postfix () in
+      let acc = ref item in
+      let continue_ = ref true in
+      while !continue_ do
+        skip_ws ();
+        match peek () with
+        | Some c
+          when (c >= 'a' && c <= 'j') || c = '(' || c = '_' ->
+            acc := Seq (!acc, postfix ())
+        | _ -> continue_ := false
+      done;
+      !acc
+    and postfix () =
+      let a = ref (atom ()) in
+      let continue_ = ref true in
+      while !continue_ do
+        skip_ws ();
+        if peek () = Some '*' then begin
+          advance ();
+          a := Star !a
+        end
+        else continue_ := false
+      done;
+      !a
+    and atom () =
+      skip_ws ();
+      match peek () with
+      | Some c when c >= 'a' && c <= 'j' ->
+          advance ();
+          Sym (Char.code c - Char.code 'a')
+      | Some '_' -> (
+          advance ();
+          match peek () with
+          | Some '0' -> advance (); Empty
+          | Some '1' -> advance (); Eps
+          | _ -> raise (Syntax "expected _0 or _1"))
+      | Some '(' ->
+          advance ();
+          let r = alt () in
+          skip_ws ();
+          if peek () = Some ')' then begin
+            advance ();
+            r
+          end
+          else raise (Syntax "expected ')'")
+      | _ -> raise (Syntax "expected an atom")
+    in
+    let r = alt () in
+    skip_ws ();
+    if !pos <> n then raise (Syntax "trailing input");
+    Ok r
+  with Syntax msg -> Error msg
+
+let parse_exn input =
+  match parse input with
+  | Ok r -> r
+  | Error msg -> invalid_arg ("Regex.parse_exn: " ^ msg)
+
+let rec accepts_eps = function
+  | Empty | Sym _ -> false
+  | Eps | Star _ -> true
+  | Alt (a, b) -> accepts_eps a || accepts_eps b
+  | Seq (a, b) -> accepts_eps a && accepts_eps b
+
+let rec strip_eps r =
+  match r with
+  | Empty | Sym _ -> r
+  | Eps -> Empty
+  | Alt (a, b) -> Alt (strip_eps a, strip_eps b)
+  | Seq (a, b) ->
+      if not (accepts_eps r) then r
+      else Alt (Seq (strip_eps a, b), strip_eps b)
+  | Star a -> Seq (strip_eps a, Star a)
+
+(* Epsilon-free structural construction. Sequencing splices the right
+   automaton's initial transitions onto the left's accepting states;
+   starring loops them back. *)
+let to_nfa ~alphabet r =
+  let open Nfa in
+  let initial_row (m : Nfa.t) shift =
+    Array.init alphabet (fun s ->
+        List.map (( + ) shift) (Nfa.successors m m.starts s))
+  in
+  let rec go = function
+    | Empty -> Nfa.empty ~alphabet
+    | Eps ->
+        make ~alphabet ~nstates:1 ~starts:[ 0 ]
+          ~delta:[| Array.make alphabet [] |]
+          ~accepting:[| true |]
+    | Sym s ->
+        if s < 0 || s >= alphabet then
+          invalid_arg "Regex.to_nfa: symbol outside alphabet";
+        let delta = Array.make_matrix 2 alphabet [] in
+        delta.(0).(s) <- [ 1 ];
+        make ~alphabet ~nstates:2 ~starts:[ 0 ] ~delta
+          ~accepting:[| false; true |]
+    | Alt (a, b) -> Nfa.union (go a) (go b)
+    | Seq (a, b) ->
+        let ma = go a and mb = go b in
+        let shift = ma.nstates in
+        let nstates = ma.nstates + mb.nstates in
+        let b_initial = initial_row mb shift in
+        let delta =
+          Array.init nstates (fun q ->
+              Array.init alphabet (fun s ->
+                  if q < shift then begin
+                    let own = ma.delta.(q).(s) in
+                    if ma.accepting.(q) then
+                      List.sort_uniq compare (own @ b_initial.(s))
+                    else own
+                  end
+                  else List.map (( + ) shift) mb.delta.(q - shift).(s)))
+        in
+        let b_has_eps = List.exists (fun q -> mb.accepting.(q)) mb.starts in
+        let accepting =
+          Array.init nstates (fun q ->
+              if q < shift then b_has_eps && ma.accepting.(q)
+              else mb.accepting.(q - shift))
+        in
+        let starts =
+          ma.starts
+          @
+          if List.exists (fun q -> ma.accepting.(q)) ma.starts then
+            List.map (( + ) shift) mb.starts
+          else []
+        in
+        make ~alphabet ~nstates ~starts ~delta ~accepting
+    | Star a ->
+        let ma = go a in
+        (* Fresh accepting start 0; body shifted by 1. *)
+        let shift = 1 in
+        let nstates = ma.nstates + 1 in
+        let a_initial = initial_row ma shift in
+        let delta =
+          Array.init nstates (fun q ->
+              Array.init alphabet (fun s ->
+                  if q = 0 then a_initial.(s)
+                  else begin
+                    let own =
+                      List.map (( + ) shift) ma.delta.(q - shift).(s)
+                    in
+                    if ma.accepting.(q - shift) then
+                      List.sort_uniq compare (own @ a_initial.(s))
+                    else own
+                  end))
+        in
+        let accepting =
+          Array.init nstates (fun q ->
+              q = 0 || ma.accepting.(q - shift))
+        in
+        make ~alphabet ~nstates ~starts:[ 0 ] ~delta ~accepting
+  in
+  go r
+
+let matches ~alphabet r word = Nfa.accepts (to_nfa ~alphabet r) word

@@ -1,0 +1,46 @@
+(** Regular expressions over finite words, compiled to epsilon-free NFAs.
+
+    The substrate for {!Omega}: Büchi's theorem presents every ω-regular
+    language as a finite union [⋃ U_i · V_i^ω] of regular-expression
+    pairs, so finite regexes are the third (besides automata and LTL)
+    presentation of the paper's linear-time properties. Symbols are
+    written [a b c …] (mapped to 0, 1, 2, …). *)
+
+type t =
+  | Empty  (** ∅ *)
+  | Eps  (** ε *)
+  | Sym of int
+  | Alt of t * t
+  | Seq of t * t
+  | Star of t
+
+val pp : Format.formatter -> t -> unit
+
+val pp_tight : Format.formatter -> t -> unit
+(** Like {!pp} but parenthesizing alternations and sequences — for use as
+    a sub-term printer (the ω-regex printer uses it). *)
+
+val to_string : t -> string
+
+val parse : string -> (t, string) result
+(** Concrete syntax: juxtaposition for concatenation, [|] for
+    alternation, [*] postfix, parentheses, [_0] for ∅, [_1] for ε,
+    letters [a]–[j] for symbols 0–9. *)
+
+val parse_exn : string -> t
+
+val accepts_eps : t -> bool
+(** ε ∈ L(r), syntactically. *)
+
+val strip_eps : t -> t
+(** A regex for [L(r) \ {ε}] (used by the ω-power, which must iterate
+    nonempty segments). *)
+
+val to_nfa : alphabet:int -> t -> Sl_nfa.Nfa.t
+(** Epsilon-free structural construction (Glushkov-flavoured: sequencing
+    and starring splice successor transitions through accepting states).
+    @raise Invalid_argument if a symbol is outside the alphabet. *)
+
+val matches : alphabet:int -> t -> int list -> bool
+(** Direct matcher through {!to_nfa}; the tests also compare against a
+    naive denotational matcher. *)

@@ -1,0 +1,1 @@
+lib/topology/closure_space.ml: Array Fun List Result Sl_word

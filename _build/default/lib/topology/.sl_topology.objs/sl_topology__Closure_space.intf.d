@@ -1,0 +1,1 @@
+lib/topology/closure_space.mli: Sl_word

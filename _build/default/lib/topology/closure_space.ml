@@ -1,0 +1,143 @@
+module Lasso = Sl_word.Lasso
+
+type t = {
+  size : int;
+  cl : int -> int;
+}
+
+let make ~size ~cl =
+  if size < 0 || size > 20 then
+    invalid_arg "Closure_space.make: size out of range";
+  { size; cl }
+
+type verdict = (unit, string * int list) result
+
+let all_masks space = List.init (1 lsl space.size) Fun.id
+
+
+let find_mask space pred =
+  List.find_opt pred (all_masks space)
+
+let preserves_empty space =
+  if space.cl 0 = 0 then Ok () else Error ("cl empty <> empty", [ space.cl 0 ])
+
+let is_extensive space =
+  match find_mask space (fun s -> s land space.cl s <> s) with
+  | None -> Ok ()
+  | Some s -> Error ("not extensive", [ s ])
+
+let is_idempotent space =
+  match find_mask space (fun s -> space.cl (space.cl s) <> space.cl s) with
+  | None -> Ok ()
+  | Some s -> Error ("not idempotent", [ s ])
+
+let is_monotone space =
+  let bad = ref None in
+  List.iter
+    (fun s ->
+      List.iter
+        (fun u ->
+          if
+            !bad = None
+            && s land u = s
+            && space.cl s land space.cl u <> space.cl s
+          then bad := Some (s, u))
+        (all_masks space))
+    (all_masks space);
+  match !bad with
+  | None -> Ok ()
+  | Some (s, u) -> Error ("not monotone", [ s; u ])
+
+let preserves_union space =
+  let bad = ref None in
+  List.iter
+    (fun s ->
+      List.iter
+        (fun u ->
+          if !bad = None && space.cl (s lor u) <> space.cl s lor space.cl u
+          then bad := Some (s, u))
+        (all_masks space))
+    (all_masks space);
+  match !bad with
+  | None -> Ok ()
+  | Some (s, u) -> Error ("does not preserve union", [ s; u ])
+
+let first_error = List.find_opt Result.is_error
+
+let is_lattice_closure space =
+  match
+    first_error [ is_extensive space; is_idempotent space; is_monotone space ]
+  with
+  | Some e -> e
+  | None -> Ok ()
+
+let is_topological space =
+  match
+    first_error
+      [ preserves_empty space; is_extensive space; is_idempotent space;
+        preserves_union space ]
+  with
+  | Some e -> e
+  | None -> Ok ()
+
+let closed_sets space =
+  List.filter (fun s -> space.cl s = s) (all_masks space)
+
+let closed_under_union space =
+  let closed = closed_sets space in
+  List.for_all
+    (fun s -> List.for_all (fun u -> space.cl (s lor u) = s lor u) closed)
+    closed
+
+let closed_under_intersection space =
+  let closed = closed_sets space in
+  List.for_all
+    (fun s -> List.for_all (fun u -> space.cl (s land u) = s land u) closed)
+    closed
+
+let discrete size = make ~size ~cl:Fun.id
+
+let indiscrete size =
+  make ~size ~cl:(fun s -> if s = 0 then 0 else (1 lsl size) - 1)
+
+let from_closed_sets ~size ~closed =
+  let space_full = (1 lsl size) - 1 in
+  (* Intersect all closed supersets (including the full carrier). *)
+  let cl s =
+    List.fold_left
+      (fun acc c -> if s land c = s then acc land c else acc)
+      space_full closed
+  in
+  make ~size ~cl
+
+let lcl_on_lassos ~max_prefix ~max_cycle ~alphabet =
+  let lassos =
+    Array.of_list (Lasso.enumerate ~alphabet ~max_prefix ~max_cycle)
+  in
+  let n = Array.length lassos in
+  if n > 20 then
+    invalid_arg "Closure_space.lcl_on_lassos: grid too large for bitmasks";
+  (* Observation horizon: the longest spoke-plus-period in the grid.
+     Lassos agreeing on this window are identified — the bounded-
+     observation shadow of the limit closure (a full-discrimination
+     horizon would make the finite space discrete). *)
+  let horizon =
+    Array.fold_left (fun acc w -> max acc (Lasso.total_length w)) 1 lassos
+  in
+  let prefixes = Array.map (fun w -> Lasso.first_n w horizon) lassos in
+  let cl s =
+    let result = ref 0 in
+    for i = 0 to n - 1 do
+      (* w_i enters cl S iff some member of S shares its entire horizon
+         prefix; nested shorter prefixes are then matched by the same
+         member. *)
+      let matched = ref false in
+      for j = 0 to n - 1 do
+        if s land (1 lsl j) <> 0 && prefixes.(i) = prefixes.(j) then
+          matched := true
+      done;
+      if !matched then result := !result lor (1 lsl i)
+    done;
+    !result
+  in
+  (make ~size:n ~cl, lassos)

@@ -1,0 +1,1 @@
+lib/tree/ftree.ml: Format Fun Int List Map Stdlib String

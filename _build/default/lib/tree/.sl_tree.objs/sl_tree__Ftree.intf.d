@@ -1,0 +1,1 @@
+lib/tree/ftree.mli: Format

@@ -1,0 +1,1 @@
+lib/tree/ptree.ml: Array Format Ftree Fun Hashtbl List Option Rtree Sl_kripke String

@@ -1,0 +1,1 @@
+lib/tree/ptree.mli: Format Ftree Rtree Sl_kripke

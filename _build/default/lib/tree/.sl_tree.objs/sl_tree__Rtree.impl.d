@@ -1,0 +1,1 @@
+lib/tree/rtree.ml: Array Format Ftree List Option Sl_kripke String

@@ -1,0 +1,1 @@
+lib/tree/rtree.mli: Format Ftree Sl_kripke

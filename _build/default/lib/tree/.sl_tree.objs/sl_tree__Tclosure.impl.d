@@ -1,0 +1,1 @@
+lib/tree/tclosure.ml: Format Fun List Ptree String

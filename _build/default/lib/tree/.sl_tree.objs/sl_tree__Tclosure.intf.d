@@ -1,0 +1,1 @@
+lib/tree/tclosure.mli: Format Ptree

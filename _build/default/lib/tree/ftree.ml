@@ -1,0 +1,171 @@
+type node = int list
+
+module Node_map = Map.Make (struct
+  type t = node
+
+  let compare = Stdlib.compare
+end)
+
+type t = int Node_map.t
+(* Invariant: the key set is prefix-closed. *)
+
+let empty = Node_map.empty
+
+let is_strict_prefix a b =
+  let rec go a b =
+    match (a, b) with
+    | [], [] -> false
+    | [], _ -> true
+    | _, [] -> false
+    | x :: a', y :: b' -> x = y && go a' b'
+  in
+  go a b
+
+let parent = function
+  | [] -> None
+  | node -> Some (List.filteri (fun i _ -> i < List.length node - 1) node)
+
+let make assoc =
+  let tree =
+    List.fold_left
+      (fun acc (node, lbl) ->
+        if List.exists (fun i -> i < 0) node then
+          invalid_arg "Ftree.make: negative child index";
+        (match Node_map.find_opt node acc with
+        | Some l when l <> lbl ->
+            invalid_arg "Ftree.make: conflicting labels"
+        | _ -> ());
+        Node_map.add node lbl acc)
+      Node_map.empty assoc
+  in
+  Node_map.iter
+    (fun node _ ->
+      match parent node with
+      | None -> ()
+      | Some p ->
+          if not (Node_map.mem p tree) then
+            invalid_arg "Ftree.make: node set not prefix-closed")
+    tree;
+  tree
+
+let singleton lbl = Node_map.singleton [] lbl
+
+let of_children lbl kids =
+  let shifted =
+    List.concat
+      (List.mapi
+         (fun i kid ->
+           Node_map.fold (fun node l acc -> ((i :: node), l) :: acc) kid [])
+         kids)
+  in
+  make (([], lbl) :: shifted)
+
+let nodes t =
+  Node_map.bindings t |> List.map fst
+  |> List.sort (fun a b ->
+         compare (List.length a, a) (List.length b, b))
+
+let mem t node = Node_map.mem node t
+let label t node = Node_map.find_opt node t
+let size t = Node_map.cardinal t
+
+let depth t =
+  Node_map.fold (fun node _ acc -> max acc (List.length node)) t 0
+
+let is_leaf t node =
+  Node_map.mem node t
+  && not (Node_map.exists (fun other _ -> is_strict_prefix node other) t)
+
+let leaves t = List.filter (is_leaf t) (nodes t)
+
+let is_k_branching_prefix t k =
+  List.for_all
+    (fun node ->
+      is_leaf t node
+      || List.for_all (fun i -> Node_map.mem (node @ [ i ]) t)
+           (List.init k Fun.id)
+         && not (Node_map.mem (node @ [ k ]) t))
+    (nodes t)
+
+(* Definition 1: labels of w win on W; x contributes labels on X \ W. *)
+let raw_concat w x =
+  Node_map.union (fun _ lw _ -> Some lw) w x
+
+(* Definition 3: keep x-nodes that lie in W or extend a leaf of w. *)
+let concat w x =
+  let lvs = leaves w in
+  let x' =
+    Node_map.filter
+      (fun node _ ->
+        Node_map.mem node w
+        || List.exists (fun leaf -> is_strict_prefix leaf node) lvs)
+      x
+  in
+  raw_concat w x'
+
+let prefix x y =
+  (* Definition 3 with w = ∅ gives ∅z = ∅ (no leaves to extend), so the
+     empty tree is a prefix only of itself. *)
+  if Node_map.is_empty x then Node_map.is_empty y
+  else
+    Node_map.for_all
+      (fun node lbl ->
+        match Node_map.find_opt node y with
+        | Some l -> l = lbl
+        | None -> false)
+      x
+    && Node_map.for_all
+         (fun node _ ->
+           Node_map.mem node x
+           || List.exists (fun leaf -> is_strict_prefix leaf node) (leaves x))
+         y
+
+let subtree t node =
+  if not (Node_map.mem node t) then None
+  else begin
+    let n = List.length node in
+    let re_rooted =
+      Node_map.fold
+        (fun other lbl acc ->
+          if other = node || is_strict_prefix node other then
+            (List.filteri (fun i _ -> i >= n) other, lbl) :: acc
+          else acc)
+        t []
+    in
+    Some (make re_rooted)
+  end
+
+let enumerate ~alphabet ~max_arity ~max_depth =
+  let rec trees d =
+    if d = 0 then List.init alphabet singleton
+    else begin
+      let shallower = trees (d - 1) in
+      (* Children tuples: each of the max_arity slots empty or a tree. *)
+      let rec slots i =
+        if i = 0 then [ [] ]
+        else
+          let rest = slots (i - 1) in
+          List.concat_map
+            (fun tail ->
+              (empty :: shallower) |> List.map (fun t -> t :: tail))
+            rest
+      in
+      List.concat_map
+        (fun lbl -> List.map (of_children lbl) (slots max_arity))
+        (List.init alphabet Fun.id)
+    end
+  in
+  List.sort_uniq Stdlib.compare (trees max_depth)
+
+let equal = Node_map.equal Int.equal
+let compare = Node_map.compare Int.compare
+
+let pp fmt t =
+  Format.fprintf fmt "@[<hov 2>tree{";
+  List.iter
+    (fun node ->
+      Format.fprintf fmt "@ %s:%d"
+        ("[" ^ String.concat "." (List.map string_of_int node) ^ "]")
+        (Node_map.find node t))
+    (nodes t);
+  Format.fprintf fmt "@ }@]"

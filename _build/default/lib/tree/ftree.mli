@@ -1,0 +1,77 @@
+(** Finite Σ-labeled trees, literally as in Section 4.1 of the paper.
+
+    An (unlabeled) tree is a prefix-closed subset of ℕ*; a tree is a pair
+    of an unlabeled tree and a labeling function. This module implements
+    Definitions 1–4 verbatim: raw concatenation [w ⋄ x] (Def 1), leaves
+    (Def 2), proper concatenation [wx] (Def 3) that only extends [w] at
+    its leaves, and the prefix order (Def 4, [x ≤ y iff ∃z. xz = y]).
+
+    Nodes are sequences of child indices; the root is []. Finite trees are
+    exactly the paper's finite-depth, non-total trees (plus the empty
+    tree). *)
+
+type node = int list
+
+type t
+(** A finite labeled tree; structurally canonical (two equal trees are
+    structurally equal). *)
+
+val empty : t
+(** The empty tree (∅ is prefix-closed). *)
+
+val make : (node * int) list -> t
+(** Build from a node→label association list.
+    @raise Invalid_argument if the node set is not prefix-closed, a node
+    is repeated with conflicting labels, or an index is negative. *)
+
+val of_children : int -> t list -> t
+(** [of_children label kids] is the tree with a [label]-led root whose
+    [i]-th subtree is [kids.(i)] (empty subtrees make the slot absent). *)
+
+val singleton : int -> t
+
+val nodes : t -> node list
+(** Sorted (length-lexicographic). *)
+
+val mem : t -> node -> bool
+val label : t -> node -> int option
+val size : t -> int
+val depth : t -> int
+(** Length of the longest node (0 for a root-only or empty tree). *)
+
+val is_leaf : t -> node -> bool
+(** Definition 2: [z] is in the tree and has no strict extension in it. *)
+
+val leaves : t -> node list
+
+val is_k_branching_prefix : t -> int -> bool
+(** Every non-leaf node has exactly children [0 .. k-1] — the finite
+    shadow of Section 4.4's k-branching trees. *)
+
+val raw_concat : t -> t -> t
+(** Definition 1, [w ⋄ x]: union of node sets, [w]'s labels winning on the
+    overlap. (The paper immediately points out this is {e not} the right
+    notion: it can extend [w] at non-leaf nodes.) *)
+
+val concat : t -> t -> t
+(** Definition 3, [wx]: like [w ⋄ x] but keeping only the [x]-nodes lying
+    inside [w] or extending one of [w]'s leaves. *)
+
+val prefix : t -> t -> bool
+(** Definition 4: [prefix x y] iff there exists [z] with [xz = y]. For
+    finite trees this is equivalent to: [x]'s nodes are [y]-nodes with the
+    same labels, and every [y]-node outside [x] strictly extends a leaf of
+    [x] (the witness [z] can be taken to be [y] itself); the equivalence is
+    exercised by the test suite against a brute-force search for [z]. *)
+
+val subtree : t -> node -> t option
+(** The subtree rooted at a node (its nodes re-rooted at []). *)
+
+val enumerate : alphabet:int -> max_arity:int -> max_depth:int -> t list
+(** All nonempty trees with node labels in [0..alphabet-1], child indices
+    in [0..max_arity-1] and depth at most [max_depth]. Exponential: meant
+    for tiny bounds. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,52 @@
+type property = {
+  name : string;
+  mem : Ptree.t -> bool;
+  extends : Ptree.t -> bool;
+}
+
+let union p q =
+  {
+    name = p.name ^ "|" ^ q.name;
+    mem = (fun y -> p.mem y || q.mem y);
+    extends = (fun x -> p.extends x || q.extends x);
+  }
+
+let fcl_mem p ~max_depth y =
+  List.for_all
+    (fun d -> p.extends (Ptree.truncation y ~depth:d))
+    (List.init (max_depth + 1) Fun.id)
+
+let ncl_mem p ~max_depth y =
+  fcl_mem p ~max_depth y
+  && List.for_all
+       (fun d -> List.for_all p.extends (Ptree.cut_variants y ~depth:d))
+       (List.init max_depth (fun d -> d + 1))
+
+type classification = {
+  existentially_safe : bool;
+  universally_safe : bool;
+  existentially_live : bool;
+  universally_live : bool;
+}
+
+let classify p ~sample ~max_depth =
+  let closed_under in_cl =
+    List.for_all (fun y -> (not (in_cl y)) || p.mem y) sample
+  in
+  let dense in_cl = List.for_all in_cl sample in
+  let in_fcl = fcl_mem p ~max_depth and in_ncl = ncl_mem p ~max_depth in
+  {
+    existentially_safe = closed_under in_ncl;
+    universally_safe = closed_under in_fcl;
+    existentially_live = dense in_ncl;
+    universally_live = dense in_fcl;
+  }
+
+let pp_classification fmt c =
+  let flag name b = if b then [ name ] else [] in
+  let tags =
+    flag "ES" c.existentially_safe @ flag "US" c.universally_safe
+    @ flag "EL" c.existentially_live @ flag "UL" c.universally_live
+  in
+  Format.pp_print_string fmt
+    (match tags with [] -> "neither" | _ -> String.concat "+" tags)

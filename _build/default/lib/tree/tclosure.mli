@@ -1,0 +1,49 @@
+(** Sampled semantics of the paper's two branching-time closures
+    (Definitions 5 and 6).
+
+    A branching-time property is handled through two oracles: membership
+    of (regular presentations of) total trees, and {e extendability} — does
+    some member of the property extend a given non-total prefix? With
+    these,
+
+    - [y ∈ fcl p] iff every finite-depth prefix of [y] is extendable;
+      every finite-depth prefix lies below some full truncation, and
+      extendability is antitone along ≤, so it suffices to check the
+      truncations ({!fcl_mem});
+    - [y ∈ ncl p] iff every non-total prefix is extendable; we check the
+      truncations and the single-cut partial prefixes ({!ncl_mem}), which
+      are exactly the shapes of the paper's Section 4.3 counterexamples.
+
+    Both checks are exact "up to depth": a [false] answer is definitive
+    (a non-extendable prefix was found); a [true] answer is sampled
+    evidence, pinned down in the tests by the paper's stated equalities. *)
+
+type property = {
+  name : string;
+  mem : Ptree.t -> bool;  (** defined on total presentations *)
+  extends : Ptree.t -> bool;  (** defined on arbitrary (partial) ones *)
+}
+
+val union : property -> property -> property
+(** The union of two properties. Extendability into a union is the
+    disjunction of extendabilities, so the oracles compose exactly. This
+    is what exhibits the paper's Section 4.2 observation: [fcl]
+    distributes over unions (it defines a topology) while [ncl] does not
+    — the witness lives in the test suite. *)
+
+val fcl_mem : property -> max_depth:int -> Ptree.t -> bool
+val ncl_mem : property -> max_depth:int -> Ptree.t -> bool
+
+type classification = {
+  existentially_safe : bool;  (** [p = ncl p] on the sample *)
+  universally_safe : bool;  (** [p = fcl p] on the sample *)
+  existentially_live : bool;  (** [ncl p = A_tot] on the sample *)
+  universally_live : bool;  (** [fcl p = A_tot] on the sample *)
+}
+
+val classify :
+  property -> sample:Ptree.t list -> max_depth:int -> classification
+(** Since [ncl p ⊆ fcl p ⊆ p ⊆ …] pointwise, the four flags are computed
+    from the two closure membership tests over the sample. *)
+
+val pp_classification : Format.formatter -> classification -> unit

@@ -1,0 +1,1 @@
+lib/word/alphabet.ml: Array Format Fun List Printf String

@@ -1,0 +1,1 @@
+lib/word/alphabet.mli: Format

@@ -1,0 +1,1 @@
+lib/word/lasso.ml: Alphabet Array Format Fun List Stdlib String

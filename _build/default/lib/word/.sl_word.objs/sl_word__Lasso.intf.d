@@ -1,0 +1,1 @@
+lib/word/lasso.mli: Alphabet Format

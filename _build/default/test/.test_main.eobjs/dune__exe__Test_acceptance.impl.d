@@ -1,0 +1,1 @@
+test/test_acceptance.ml: Alcotest Array Fun List QCheck QCheck_alcotest Random Sl_buchi Sl_word

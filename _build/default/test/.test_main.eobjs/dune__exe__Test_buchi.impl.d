@@ -1,0 +1,1 @@
+test/test_buchi.ml: Alcotest List Printf QCheck QCheck_alcotest Sl_buchi Sl_core Sl_nfa Sl_word String

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Format List Printf Sl_core Sl_lattice String

@@ -1,0 +1,1 @@
+test/test_ctl.ml: Alcotest Array List QCheck QCheck_alcotest Result Sl_ctl Sl_kripke Sl_tree

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Fmt List Printf QCheck QCheck_alcotest Random Sl_buchi Sl_core Sl_ctl Sl_kripke Sl_lattice Sl_ltl Sl_order Sl_tree Sl_word

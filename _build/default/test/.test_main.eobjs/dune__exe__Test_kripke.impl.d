@@ -1,0 +1,1 @@
+test/test_kripke.ml: Alcotest Array Fun List Printf Sl_kripke

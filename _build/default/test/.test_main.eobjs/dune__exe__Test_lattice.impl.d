@@ -1,0 +1,1 @@
+test/test_lattice.ml: Alcotest Array Fun List Sl_lattice Sl_order

@@ -1,0 +1,1 @@
+test/test_ltl.ml: Alcotest Array Format List Printf QCheck QCheck_alcotest Sl_buchi Sl_kripke Sl_ltl Sl_word

@@ -1,0 +1,1 @@
+test/test_mu.ml: Alcotest List Printf Result Sl_ctl Sl_kripke Sl_mu

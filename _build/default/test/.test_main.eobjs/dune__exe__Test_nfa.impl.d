@@ -1,0 +1,1 @@
+test/test_nfa.ml: Alcotest Array Fun List QCheck QCheck_alcotest Random Sl_nfa

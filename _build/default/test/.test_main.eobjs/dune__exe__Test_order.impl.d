@@ -1,0 +1,1 @@
+test/test_order.ml: Alcotest List Option Sl_order String

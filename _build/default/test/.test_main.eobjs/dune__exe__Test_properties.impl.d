@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Array Fun Gen List QCheck QCheck_alcotest Random Sl_buchi Sl_lattice Sl_order Sl_tree Sl_word

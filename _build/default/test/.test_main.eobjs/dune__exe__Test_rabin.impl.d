@@ -1,0 +1,1 @@
+test/test_rabin.ml: Alcotest Array List Printf Sl_ctl Sl_kripke Sl_rabin Sl_tree

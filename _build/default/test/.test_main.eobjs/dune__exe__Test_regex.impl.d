@@ -1,0 +1,1 @@
+test/test_regex.ml: Alcotest Fun List Printf QCheck QCheck_alcotest Result Sl_buchi Sl_nfa Sl_regex Sl_word String

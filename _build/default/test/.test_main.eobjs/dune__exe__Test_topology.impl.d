@@ -1,0 +1,1 @@
+test/test_topology.ml: Alcotest Array List Printf Sl_ctl Sl_topology Sl_tree

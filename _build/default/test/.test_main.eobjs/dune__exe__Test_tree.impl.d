@@ -1,0 +1,1 @@
+test/test_tree.ml: Alcotest Array List Printf Sl_tree

@@ -1,0 +1,1 @@
+test/test_word.ml: Alcotest Format Gen List QCheck QCheck_alcotest Sl_word

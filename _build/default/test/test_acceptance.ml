@@ -1,0 +1,168 @@
+module Acceptance = Sl_buchi.Acceptance
+module Buchi = Sl_buchi.Buchi
+module Patterns = Sl_buchi.Patterns
+module Lasso = Sl_word.Lasso
+
+let check = Alcotest.(check bool)
+
+let lassos = Lasso.enumerate ~alphabet:2 ~max_prefix:2 ~max_cycle:3
+
+(* The letter-tracking automaton over {a=0, b=1}: state 0 = just read a,
+   state 1 = just read b; deterministic, start at 0 (the first letter
+   decides the first real state anyway). *)
+let tracker condition =
+  Acceptance.make ~alphabet:2 ~nstates:2 ~start:0
+    ~delta:[| [| [ 0 ]; [ 1 ] |]; [| [ 0 ]; [ 1 ] |] |]
+    ~condition
+
+let inf_a w = Lasso.count_letter w 0 = `Infinitely
+let inf_b w = Lasso.count_letter w 1 = `Infinitely
+
+let test_parity_semantics () =
+  (* Priorities (0 for a-state, 1 for b-state): least infinite priority
+     even iff a occurs infinitely often. *)
+  let gf_a = tracker (Acceptance.Parity [| 0; 1 |]) in
+  (* Priorities (1, 2): even iff eventually only b. *)
+  let fg_b = tracker (Acceptance.Parity [| 1; 2 |]) in
+  List.iter
+    (fun w ->
+      check ("parity GF a on " ^ Lasso.to_string w) (inf_a w)
+        (Acceptance.accepts_lasso gf_a w);
+      check ("parity FG b on " ^ Lasso.to_string w)
+        (not (inf_a w))
+        (Acceptance.accepts_lasso fg_b w))
+    lassos
+
+let test_rabin_semantics () =
+  (* Pair (green = b-state, red = a-state): FG b. *)
+  let fg_b =
+    tracker (Acceptance.Rabin [ ([| false; true |], [| true; false |]) ])
+  in
+  (* Two pairs: FG b or GF a — everything. *)
+  let total =
+    tracker
+      (Acceptance.Rabin
+         [ ([| false; true |], [| true; false |]);
+           ([| true; false |], [| false; false |]) ])
+  in
+  List.iter
+    (fun w ->
+      check "rabin FG b" (not (inf_a w)) (Acceptance.accepts_lasso fg_b w);
+      check "rabin total" true (Acceptance.accepts_lasso total w))
+    lassos
+
+let test_streett_semantics () =
+  (* Single pair (green = a-state, red = b-state): GF a -> GF b. *)
+  let fair =
+    tracker (Acceptance.Streett [ ([| true; false |], [| false; true |]) ])
+  in
+  List.iter
+    (fun w ->
+      check
+        ("streett on " ^ Lasso.to_string w)
+        ((not (inf_a w)) || inf_b w)
+        (Acceptance.accepts_lasso fair w))
+    lassos;
+  (* Two pairs: GF a -> GF b and GF b -> GF a: both infinite or both
+     finite; since one letter always recurs, this means both recur. *)
+  let both =
+    tracker
+      (Acceptance.Streett
+         [ ([| true; false |], [| false; true |]);
+           ([| false; true |], [| true; false |]) ])
+  in
+  List.iter
+    (fun w ->
+      check "streett both" (inf_a w && inf_b w)
+        (Acceptance.accepts_lasso both w))
+    lassos
+
+let test_muller_semantics () =
+  (* Infinity set exactly {b-state}: finitely many a. *)
+  let fin_a = tracker (Acceptance.Muller [ [| false; true |] ]) in
+  (* Exactly {a-state, b-state}: both letters recur. *)
+  let both = tracker (Acceptance.Muller [ [| true; true |] ]) in
+  List.iter
+    (fun w ->
+      check "muller fin a" (not (inf_a w))
+        (Acceptance.accepts_lasso fin_a w);
+      check "muller both" (inf_a w && inf_b w)
+        (Acceptance.accepts_lasso both w))
+    lassos
+
+let test_of_buchi () =
+  List.iter
+    (fun (name, _, b) ->
+      let a = Acceptance.of_buchi b in
+      List.iter
+        (fun w ->
+          check (name ^ " as rabin") (Buchi.accepts_lasso b w)
+            (Acceptance.accepts_lasso a w))
+        lassos)
+    Patterns.rem_examples
+
+let test_rabin_to_buchi () =
+  let cases =
+    [ tracker (Acceptance.Rabin [ ([| false; true |], [| true; false |]) ]);
+      tracker
+        (Acceptance.Rabin
+           [ ([| true; false |], [| false; false |]);
+             ([| false; true |], [| true; false |]) ]) ]
+  in
+  List.iter
+    (fun a ->
+      let b = Acceptance.rabin_to_buchi a in
+      List.iter
+        (fun w ->
+          check "rabin->buchi" (Acceptance.accepts_lasso a w)
+            (Buchi.accepts_lasso b w))
+        lassos)
+    cases
+
+let test_parity_to_buchi () =
+  List.iter
+    (fun priorities ->
+      let a = tracker (Acceptance.Parity priorities) in
+      let b = Acceptance.parity_to_buchi a in
+      List.iter
+        (fun w ->
+          check "parity->buchi" (Acceptance.accepts_lasso a w)
+            (Buchi.accepts_lasso b w))
+        lassos)
+    [ [| 0; 1 |]; [| 1; 2 |]; [| 2; 1 |]; [| 0; 0 |]; [| 1; 1 |] ]
+
+let prop_random_rabin_roundtrip =
+  QCheck.Test.make ~name:"random rabin: translation = direct semantics"
+    ~count:40
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let st = Random.State.make [| seed |] in
+      let n = 1 + Random.State.int st 4 in
+      let delta =
+        Array.init n (fun _ ->
+            Array.init 2 (fun _ ->
+                List.filter (fun _ -> Random.State.float st 1.0 < 0.4)
+                  (List.init n Fun.id)))
+      in
+      let pair () =
+        ( Array.init n (fun _ -> Random.State.bool st),
+          Array.init n (fun _ -> Random.State.float st 1.0 < 0.3) )
+      in
+      let a =
+        Acceptance.make ~alphabet:2 ~nstates:n ~start:0 ~delta
+          ~condition:(Acceptance.Rabin [ pair (); pair () ])
+      in
+      let b = Acceptance.rabin_to_buchi a in
+      List.for_all
+        (fun w -> Acceptance.accepts_lasso a w = Buchi.accepts_lasso b w)
+        (Lasso.enumerate ~alphabet:2 ~max_prefix:2 ~max_cycle:2))
+
+let tests =
+  [ Alcotest.test_case "parity semantics" `Quick test_parity_semantics;
+    Alcotest.test_case "rabin semantics" `Quick test_rabin_semantics;
+    Alcotest.test_case "streett semantics" `Quick test_streett_semantics;
+    Alcotest.test_case "muller semantics" `Quick test_muller_semantics;
+    Alcotest.test_case "of_buchi" `Quick test_of_buchi;
+    Alcotest.test_case "rabin -> buchi" `Quick test_rabin_to_buchi;
+    Alcotest.test_case "parity -> buchi" `Quick test_parity_to_buchi;
+    QCheck_alcotest.to_alcotest prop_random_rabin_roundtrip ]

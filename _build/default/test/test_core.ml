@@ -1,0 +1,252 @@
+module Lattice = Sl_lattice.Lattice
+module Named = Sl_lattice.Named
+module Closure = Sl_lattice.Closure
+module Theory = Sl_core.Theory
+module Finite_check = Sl_core.Finite_check
+
+let check = Alcotest.(check bool)
+
+let report =
+  Alcotest.testable
+    (fun fmt -> function
+      | Ok () -> Format.fprintf fmt "Ok"
+      | Error e -> Format.fprintf fmt "Error %s" e)
+    ( = )
+
+let ok = Ok ()
+
+(* A reusable instantiation of the generic theory over the 3-bit Boolean
+   algebra. *)
+module B3 = struct
+  let l = Named.boolean 3
+
+  module L = (val Finite_check.as_complemented l)
+  module T = Theory.Make (L)
+end
+
+let test_safety_liveness_predicates () =
+  let module T = B3.T in
+  let cl = Closure.apply (Closure.identity B3.l) in
+  check "everything closed under identity" true (T.is_safety cl 0b010);
+  check "only top live under identity" false (T.is_liveness cl 0b010);
+  check "top live" true (T.is_liveness cl 0b111);
+  let to_top = Closure.apply (Closure.to_top B3.l) in
+  check "bot live under to-top" true (T.is_liveness to_top 0b000);
+  check "only top safe under to-top" false (T.is_safety to_top 0b011)
+
+let test_decompose_boolean () =
+  let module T = B3.T in
+  (* Closure with closed set = up-closure of 0b100 plus top-ish elements:
+     use closed elements {0b100, 0b101, 0b110, 0b111}. *)
+  let cl =
+    Closure.apply (Closure.of_closed_set B3.l [ 0b100; 0b101; 0b110 ])
+  in
+  List.iter
+    (fun a ->
+      match T.decompose ~cl2:cl a with
+      | None -> Alcotest.fail "boolean algebra always has complements"
+      | Some d ->
+          Alcotest.(check (list (pair string int)))
+            (Printf.sprintf "verify a=%d" a)
+            []
+            (T.verify ~cl1:cl ~cl2:cl d))
+    (Lattice.elements B3.l)
+
+let test_lemmas () =
+  let module T = B3.T in
+  let cl =
+    Closure.apply (Closure.of_closed_set B3.l [ 0b110; 0b011 ])
+  in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          check "lemma 3" true (T.lemma3_holds cl a b);
+          check "lemma 5" true (T.lemma5_holds a b (lnot b land 0b111)))
+        (Lattice.elements B3.l))
+    (Lattice.elements B3.l);
+  (* Lemma 4 with a genuine complement of cl a. *)
+  List.iter
+    (fun a ->
+      let b = lnot (cl a) land 0b111 in
+      check "lemma 4" true (T.lemma4_holds ~cl ~a ~b))
+    (Lattice.elements B3.l)
+
+let test_theorem2_all_named_modular () =
+  (* Theorem 2 must hold on every modular complemented lattice for every
+     closure. *)
+  List.iter
+    (fun (name, l) ->
+      if
+        Lattice.is_modular l && Lattice.is_complemented l
+        && Lattice.size l <= 8
+      then
+        List.iter
+          (fun cl ->
+            Alcotest.check report
+              (name ^ ": theorem 2")
+              ok
+              (Finite_check.check_theorem2 l cl))
+          (Closure.all l))
+    Named.all_small
+
+let test_theorem3_two_closures () =
+  let l = Named.boolean 2 in
+  let cls = Closure.all l in
+  List.iter
+    (fun cl1 ->
+      List.iter
+        (fun cl2 ->
+          if Closure.pointwise_leq cl1 cl2 then
+            Alcotest.check report "theorem 3" ok
+              (Finite_check.check_theorem3 l ~cl1 ~cl2))
+        cls)
+    cls
+
+let test_theorem5_exhaustive () =
+  let l = Named.boolean 2 in
+  let cls = Closure.all l in
+  List.iter
+    (fun cl1 ->
+      List.iter
+        (fun cl2 ->
+          Alcotest.check report "theorem 5" ok
+            (Finite_check.check_theorem5 l ~cl1 ~cl2))
+        cls)
+    cls
+
+let test_theorem6_exhaustive () =
+  List.iter
+    (fun (name, l) ->
+      if Lattice.size l <= 6 then
+        List.iter
+          (fun cl ->
+            Alcotest.check report (name ^ ": theorem 6") ok
+              (Finite_check.check_theorem6 l ~cl1:cl ~cl2:cl))
+          (Closure.all l))
+    [ ("bool2", Named.boolean 2); ("chain4", Named.chain 4);
+      ("m3", Named.m3) ]
+
+let test_theorem7_distributive_only () =
+  (* Holds on Boolean algebras... *)
+  List.iter
+    (fun cl ->
+      Alcotest.check report "theorem 7 on bool2" ok
+        (Finite_check.check_theorem7 (Named.boolean 2) ~cl1:cl ~cl2:cl))
+    (Closure.all (Named.boolean 2));
+  (* ...and the hypothesis check rejects M3. *)
+  (match
+     Finite_check.check_theorem7 Named.m3
+       ~cl1:(Closure.identity Named.m3)
+       ~cl2:(Closure.identity Named.m3)
+   with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "M3 should be rejected as non-distributive")
+
+let test_theorem8 () =
+  (* Holds on distributive lattices for every closure... *)
+  List.iter
+    (fun cl ->
+      Alcotest.check report "theorem 8 on bool2" ok
+        (Finite_check.check_theorem8 (Named.boolean 2) ~cl1:cl ~cl2:cl))
+    (Closure.all (Named.boolean 2));
+  (* ...with two distinct closures when ordered... *)
+  let l = Named.chain 3 in
+  let cls = Closure.all l in
+  List.iter
+    (fun cl1 ->
+      List.iter
+        (fun cl2 ->
+          if Closure.pointwise_leq cl1 cl2 then
+            match Finite_check.check_theorem8 l ~cl1 ~cl2 with
+            | Ok () -> ()
+            | Error e ->
+                (* chains are not complemented: hypothesis rejection is
+                   the expected outcome here. *)
+                check "hypothesis rejection mentions complement" true
+                  (String.length e > 0))
+        cls)
+    cls;
+  (* ...and is rejected on the non-distributive M3. *)
+  match
+    Finite_check.check_theorem8 Named.m3
+      ~cl1:(Closure.identity Named.m3) ~cl2:(Closure.identity Named.m3)
+  with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "M3 should be rejected"
+
+let test_lemma6_figure1 () =
+  Alcotest.check report "Figure 1 counterexample" ok
+    (Sl_core.Finite_check.lemma6_fig1 ())
+
+let test_fig2_theorem7_failure () =
+  Alcotest.check report "Figure 2 counterexample" ok
+    (Sl_core.Finite_check.fig2_theorem7_failure ())
+
+let test_modularity_needed () =
+  Alcotest.check report "modularity necessity" ok
+    (Sl_core.Finite_check.modularity_is_needed ())
+
+let test_check_all_closures_bool2 () =
+  Alcotest.(check (list (pair string report)))
+    "bool2 passes everything"
+    [ ("all", ok) ]
+    (Finite_check.check_all_closures (Named.boolean 2))
+
+let test_machine_closure () =
+  let module T = B3.T in
+  let cl = Closure.apply (Closure.of_closed_set B3.l [ 0b110 ]) in
+  check "spec with its closure is machine closed" true
+    (T.is_machine_closed ~cl ~spec:0b010 ~safety:(cl 0b010));
+  check "weaker safety part is not machine closed" false
+    (T.is_machine_closed ~cl ~spec:0b010 ~safety:0b111)
+
+let test_gumm_gap () =
+  (* The paper's point against Gumm/topology: lattice closures need not
+     distribute over joins. On the 3-atom Boolean algebra the closure with
+     closed set {bot, 001, 010, top} sends 011 to top although
+     cl 001 v cl 010 = 011. *)
+  let l = Named.boolean 3 in
+  let module LC = (val Finite_check.as_complemented l) in
+  let module T = Theory.Make (LC) in
+  let cl = Closure.of_closed_set l [ 0b000; 0b001; 0b010 ] in
+  check "some closure is not topological" true
+    (T.gumm_join_preservation_violation (Closure.apply cl)
+       ~sample:(Lattice.elements l)
+    <> None);
+  (* Theorem 2 still holds for that non-topological closure. *)
+  Alcotest.check report "theorem 2 holds regardless" ok
+    (Finite_check.check_theorem2 l cl);
+  (* The identity closure by contrast is topological. *)
+  check "identity is topological" true
+    (T.gumm_join_preservation_violation
+       (Closure.apply (Closure.identity l))
+       ~sample:(Lattice.elements l)
+    = None)
+
+let tests =
+  [ Alcotest.test_case "safety/liveness predicates" `Quick
+      test_safety_liveness_predicates;
+    Alcotest.test_case "decomposition on boolean algebra" `Quick
+      test_decompose_boolean;
+    Alcotest.test_case "lemmas 3-5" `Quick test_lemmas;
+    Alcotest.test_case "theorem 2 (all modular complemented)" `Quick
+      test_theorem2_all_named_modular;
+    Alcotest.test_case "theorem 3 (two closures)" `Quick
+      test_theorem3_two_closures;
+    Alcotest.test_case "theorem 5 (impossibility)" `Quick
+      test_theorem5_exhaustive;
+    Alcotest.test_case "theorem 6 (extremal safety)" `Quick
+      test_theorem6_exhaustive;
+    Alcotest.test_case "theorem 7 (extremal liveness)" `Quick
+      test_theorem7_distributive_only;
+    Alcotest.test_case "theorem 8" `Quick test_theorem8;
+    Alcotest.test_case "lemma 6 / Figure 1" `Quick test_lemma6_figure1;
+    Alcotest.test_case "Figure 2 / Theorem 7 failure" `Quick
+      test_fig2_theorem7_failure;
+    Alcotest.test_case "modularity necessity" `Quick test_modularity_needed;
+    Alcotest.test_case "all closures on bool2" `Quick
+      test_check_all_closures_bool2;
+    Alcotest.test_case "machine closure" `Quick test_machine_closure;
+    Alcotest.test_case "Gumm gap (non-topological closures)" `Quick
+      test_gumm_gap ]

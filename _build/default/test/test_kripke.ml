@@ -1,0 +1,136 @@
+module Kripke = Sl_kripke.Kripke
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_make_validates () =
+  check "totality enforced" true
+    (try
+       ignore
+         (Kripke.make ~nstates:2 ~initial:0
+            ~successors:[| [ 1 ]; [] |]
+            ~ap:[| "p" |]
+            ~labels:[| [| true |]; [| false |] |]);
+       false
+     with Invalid_argument _ -> true);
+  check "range checked" true
+    (try
+       ignore
+         (Kripke.make ~nstates:1 ~initial:0 ~successors:[| [ 3 ] |]
+            ~ap:[||] ~labels:[| [||] |]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_mutex () =
+  let k = Kripke.mutex () in
+  check "has states" true (k.Kripke.nstates > 4);
+  (* Every state total; initial labeled n1 & n2. *)
+  check "initial n1" true (Kripke.holds k k.Kripke.initial "n1");
+  check "initial n2" true (Kripke.holds k k.Kripke.initial "n2");
+  (* No state is doubly critical. *)
+  check "mutual exclusion (state level)" true
+    (List.for_all
+       (fun q -> not (Kripke.holds k q "c1" && Kripke.holds k q "c2"))
+       (List.init k.Kripke.nstates Fun.id))
+
+let test_token_ring () =
+  let k = Kripke.token_ring 4 in
+  check_int "states" 4 k.Kripke.nstates;
+  check "token at 0" true (Kripke.holds k 0 "tok0");
+  Alcotest.(check (list int)) "moves" [ 1 ] k.Kripke.successors.(0)
+
+let test_dining_philosophers () =
+  let k = Kripke.dining_philosophers 3 in
+  check "nonempty" true (k.Kripke.nstates > 3);
+  (* No two adjacent eaters anywhere. *)
+  check "fork exclusivity" true
+    (List.for_all
+       (fun q ->
+         not
+           (List.exists
+              (fun i ->
+                Kripke.holds k q (Printf.sprintf "eat%d" i)
+                && Kripke.holds k q (Printf.sprintf "eat%d" ((i + 1) mod 3)))
+              [ 0; 1; 2 ]))
+       (List.init k.Kripke.nstates Fun.id))
+
+let test_peterson () =
+  let k = Kripke.peterson () in
+  check "reachable states" true (k.Kripke.nstates > 10);
+  check "initial idle" true
+    (Kripke.holds k k.Kripke.initial "idle1"
+    && Kripke.holds k k.Kripke.initial "idle2");
+  (* Mutual exclusion at the state level. *)
+  check "no doubly critical state" true
+    (List.for_all
+       (fun q -> not (Kripke.holds k q "c1" && Kripke.holds k q "c2"))
+       (List.init k.Kripke.nstates Fun.id))
+
+let test_bounded_buffer () =
+  let k = Kripke.bounded_buffer ~capacity:3 in
+  check "4 levels" true (k.Kripke.nstates = 4);
+  check "initially empty" true (Kripke.holds k k.Kripke.initial "empty");
+  check "no state both empty and full" true
+    (List.for_all
+       (fun q -> not (Kripke.holds k q "empty" && Kripke.holds k q "full"))
+       (List.init k.Kripke.nstates Fun.id))
+
+let test_reachability () =
+  let k =
+    Kripke.make ~nstates:3 ~initial:0
+      ~successors:[| [ 0; 1 ]; [ 1 ]; [ 2 ] |]
+      ~ap:[| "p" |]
+      ~labels:[| [| false |]; [| true |]; [| false |] |]
+  in
+  Alcotest.(check (array bool)) "state 2 unreachable"
+    [| true; true; false |] (Kripke.reachable k);
+  let r = Kripke.restrict_reachable k in
+  check_int "restricted" 2 r.Kripke.nstates
+
+let test_lasso_paths () =
+  let k = Kripke.token_ring 3 in
+  let paths = Kripke.lasso_paths k ~from:0 ~max_len:4 in
+  (* The deterministic ring has exactly one lasso shape from 0 within the
+     bound: spoke [] cycle [0;1;2]. *)
+  Alcotest.(check (list (pair (list int) (list int))))
+    "ring lasso" [ ([], [ 0; 1; 2 ]) ] paths;
+  (* Lassos respect the transition relation. *)
+  let k2 = Kripke.mutex () in
+  List.iter
+    (fun (spoke, cycle) ->
+      let states = spoke @ cycle @ [ List.hd cycle ] in
+      let rec ok = function
+        | a :: (b :: _ as rest) ->
+            List.mem b k2.Kripke.successors.(a) && ok rest
+        | _ -> true
+      in
+      check "edges valid" true (ok states))
+    (Kripke.lasso_paths k2 ~from:k2.Kripke.initial ~max_len:5)
+
+let test_branching () =
+  let k = Kripke.token_ring 3 in
+  check_int "ring is unary" 1 (Kripke.branching_degree k);
+  check "1-ary" true (Kripke.is_k_ary k 1);
+  check "not 2-ary" false (Kripke.is_k_ary k 2)
+
+let test_path_labels () =
+  let k = Kripke.token_ring 3 in
+  Alcotest.(check (list bool)) "tok0 along the ring" [ true; false; false ]
+    (Kripke.path_labels k [ 0; 1; 2 ] "tok0");
+  Alcotest.(check (option int)) "ap_index" (Some 1)
+    (Kripke.ap_index k "tok1");
+  Alcotest.(check (option int)) "missing ap" None
+    (Kripke.ap_index k "nope")
+
+let tests =
+  [ Alcotest.test_case "validation" `Quick test_make_validates;
+    Alcotest.test_case "mutex generator" `Quick test_mutex;
+    Alcotest.test_case "token ring" `Quick test_token_ring;
+    Alcotest.test_case "dining philosophers" `Quick
+      test_dining_philosophers;
+    Alcotest.test_case "peterson" `Quick test_peterson;
+    Alcotest.test_case "bounded buffer" `Quick test_bounded_buffer;
+    Alcotest.test_case "reachability" `Quick test_reachability;
+    Alcotest.test_case "lasso paths" `Quick test_lasso_paths;
+    Alcotest.test_case "path labels" `Quick test_path_labels;
+    Alcotest.test_case "branching degree" `Quick test_branching ]

@@ -1,0 +1,314 @@
+module Poset = Sl_order.Poset
+module Lattice = Sl_lattice.Lattice
+module Named = Sl_lattice.Named
+module Closure = Sl_lattice.Closure
+module Birkhoff = Sl_lattice.Birkhoff
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_boolean_is_boolean () =
+  let b3 = Named.boolean 3 in
+  check "lattice laws" true (Lattice.check_lattice_laws b3 = None);
+  check "distributive" true (Lattice.is_distributive b3);
+  check "complemented" true (Lattice.is_complemented b3);
+  check "boolean" true (Lattice.is_boolean b3);
+  check "unique complements" true (Lattice.has_unique_complements b3);
+  check_int "complement of 0b011" 0b100
+    (List.hd (Lattice.complements b3 0b011))
+
+let test_chain_structure () =
+  let c4 = Named.chain 4 in
+  check "modular" true (Lattice.is_modular c4);
+  check "distributive" true (Lattice.is_distributive c4);
+  check "not complemented" false (Lattice.is_complemented c4);
+  Alcotest.(check (list int)) "uncomplemented middles" [ 1; 2 ]
+    (Lattice.uncomplemented c4)
+
+let test_n5_figure1 () =
+  let l = Named.n5 in
+  check "laws hold" true (Lattice.check_lattice_laws l = None);
+  check "not modular" false (Lattice.is_modular l);
+  check "complemented" true (Lattice.is_complemented l);
+  (* The paper's Figure 1 caption: b ^ (c v a) = b but (b ^ c) v (b ^ a)
+     = a, with a <= b. *)
+  let a = Named.n5_a and b = Named.n5_b and c = Named.n5_c in
+  check "a <= b" true (Lattice.leq l a b);
+  check_int "b ^ (c v a)" b (Lattice.meet l b (Lattice.join l c a));
+  check_int "(b^c) v (b^a)" a
+    (Lattice.join l (Lattice.meet l b c) (Lattice.meet l b a));
+  (* Pentagon detector finds exactly this configuration. *)
+  (match Lattice.contains_pentagon l with
+  | Some (z, a', b', c', o) ->
+      check_int "z" Named.n5_bot z;
+      check_int "a" a a';
+      check_int "b" b b';
+      check_int "c" c c';
+      check_int "o" Named.n5_top o
+  | None -> Alcotest.fail "pentagon not found in N5");
+  check "no diamond in N5" true (Lattice.contains_diamond l = None)
+
+let test_m3_figure2 () =
+  let l = Named.m3 in
+  check "modular" true (Lattice.is_modular l);
+  check "not distributive" false (Lattice.is_distributive l);
+  check "complemented" true (Lattice.is_complemented l);
+  check "complements not unique" false (Lattice.has_unique_complements l);
+  (* Paper's Figure 2 caption: s ^ (b v z) = s, (s ^ b) v (s ^ z) = a. *)
+  let s = Named.m3_s and b = Named.m3_b and z = Named.m3_z in
+  check_int "s ^ (b v z)" s (Lattice.meet l s (Lattice.join l b z));
+  check_int "(s^b) v (s^z)" Named.m3_a
+    (Lattice.join l (Lattice.meet l s b) (Lattice.meet l s z));
+  check "diamond found" true (Lattice.contains_diamond l <> None);
+  check "no pentagon" true (Lattice.contains_pentagon l = None)
+
+let test_birkhoff_m3_n5_theorem () =
+  (* A lattice is distributive iff it embeds neither N5 nor M3. Check both
+     directions over the whole corpus. *)
+  List.iter
+    (fun (name, l) ->
+      let dist = Lattice.is_distributive l in
+      let has_forbidden =
+        Lattice.contains_pentagon l <> None
+        || Lattice.contains_diamond l <> None
+      in
+      check (name ^ ": M3/N5 theorem") dist (not has_forbidden))
+    Named.all_small
+
+let test_dedekind_modularity () =
+  (* Modular iff no pentagon. *)
+  List.iter
+    (fun (name, l) ->
+      check
+        (name ^ ": Dedekind")
+        (Lattice.is_modular l)
+        (Lattice.contains_pentagon l = None))
+    Named.all_small
+
+let test_divisor_lattice () =
+  let l, ds = Named.divisor 12 in
+  check "distributive" true (Lattice.is_distributive l);
+  check "not boolean (12 not squarefree)" false (Lattice.is_boolean l);
+  let l30, _ = Named.divisor 30 in
+  check "30 squarefree -> boolean" true (Lattice.is_boolean l30);
+  (* gcd/lcm behave as meet/join. *)
+  let idx v =
+    let rec go i = if ds.(i) = v then i else go (i + 1) in
+    go 0
+  in
+  check_int "gcd(4,6)=2" (idx 2) (Lattice.meet l (idx 4) (idx 6));
+  check_int "lcm(4,6)=12" (idx 12) (Lattice.join l (idx 4) (idx 6))
+
+let test_partition_lattice () =
+  let p3 = Named.partition 3 in
+  check_int "Bell(3)" 5 (Lattice.size p3);
+  check "complemented" true (Lattice.is_complemented p3);
+  let p4 = Named.partition 4 in
+  check_int "Bell(4)" 15 (Lattice.size p4);
+  check "part4 not modular" false (Lattice.is_modular p4);
+  check "part4 complemented" true (Lattice.is_complemented p4)
+
+let test_product_preserves_laws () =
+  let l = Lattice.product Named.m3 (Named.chain 2) in
+  check "product of modular is modular" true (Lattice.is_modular l);
+  let l2 = Lattice.product Named.n5 (Named.chain 2) in
+  check "product with N5 not modular" false (Lattice.is_modular l2)
+
+let test_interval () =
+  let b3 = Named.boolean 3 in
+  match Lattice.interval b3 0b001 0b111 with
+  | None -> Alcotest.fail "interval exists"
+  | Some iv ->
+      check_int "interval size" 4 (Lattice.size iv);
+      check "interval of boolean is boolean" true (Lattice.is_boolean iv)
+
+let test_irreducibles () =
+  let b3 = Named.boolean 3 in
+  Alcotest.(check (list int)) "join irreducibles = atoms" [ 1; 2; 4 ]
+    (Lattice.join_irreducibles b3);
+  let c3 = Named.chain 3 in
+  Alcotest.(check (list int)) "chain irreducibles" [ 1; 2 ]
+    (Lattice.join_irreducibles c3)
+
+let test_sublattice_closure () =
+  let b3 = Named.boolean 3 in
+  let sub = Lattice.sublattice_closure b3 [ 0b001; 0b010 ] in
+  Alcotest.(check (list int)) "generated" [ 0b000; 0b001; 0b010; 0b011 ] sub
+
+(* --- Closure operators --- *)
+
+let test_closure_axioms () =
+  let l = Named.boolean 2 in
+  check "identity valid" true (Closure.validate l Fun.id = None);
+  check "to-top valid" true
+    (Closure.validate l (fun _ -> Lattice.top l) = None);
+  (* Collapsing everything to bot is not extensive. *)
+  (match Closure.validate l (fun _ -> Lattice.bot l) with
+  | Some ("extensive", _) -> ()
+  | _ -> Alcotest.fail "expected extensivity failure");
+  (* A non-monotone map: bot is sent strictly above one atom but not the
+     other, so bot <= 0b10 while f bot </= f 0b10. *)
+  let f x = if x = 0b00 then 0b01 else x in
+  (match Closure.validate l f with
+  | Some ("monotone", _) -> ()
+  | _ -> Alcotest.fail "expected monotonicity failure")
+
+let test_closure_of_closed_set () =
+  let l = Named.boolean 2 in
+  let cl = Closure.of_closed_set l [ 0b01 ] in
+  check_int "cl bot = atom? no: bot maps to 0b01's meet-closure" 0b01
+    (Closure.apply cl 0b00);
+  check_int "cl atom2 = top" 0b11 (Closure.apply cl 0b10);
+  check "closed elements include top" true
+    (List.mem 0b11 (Closure.closed_elements cl))
+
+let test_closure_enumeration () =
+  (* On the 2-chain the closure operators are: identity and to-top.
+     Closure systems = meet-closed subsets containing top: {1}, {0,1}. *)
+  let c2 = Named.chain 2 in
+  check_int "closures on chain2" 2 (List.length (Closure.all c2));
+  (* On the 3-chain: subsets of {0,1} joined with {2}: {}, {0}, {1}, {0,1}
+     all meet-closed -> 4 closures. *)
+  let c3 = Named.chain 3 in
+  check_int "closures on chain3" 4 (List.length (Closure.all c3));
+  (* Every enumerated closure validates. *)
+  List.iter
+    (fun cl ->
+      check "valid" true (Closure.validate c3 (Closure.apply cl) = None))
+    (Closure.all c3)
+
+let test_fig1_closure () =
+  let cl = Closure.fig1 in
+  check_int "cl a = b" Named.n5_b (Closure.apply cl Named.n5_a);
+  check_int "cl c = c" Named.n5_c (Closure.apply cl Named.n5_c);
+  Alcotest.(check (list int)) "closed = all but a"
+    [ Named.n5_bot; Named.n5_b; Named.n5_c; Named.n5_top ]
+    (Closure.closed_elements cl)
+
+let test_fig2_candidates () =
+  let cls = Closure.fig2_candidates in
+  check "at least one" true (cls <> []);
+  List.iter
+    (fun cl ->
+      check_int "maps a to s" Named.m3_s (Closure.apply cl Named.m3_a);
+      check "valid" true
+        (Closure.validate Named.m3 (Closure.apply cl) = None))
+    cls;
+  (* Any such closure must coarsen b and z to top (monotonicity forces
+     cl b >= s v b = top when b >= a). *)
+  List.iter
+    (fun cl ->
+      check_int "cl b = top" Named.m3_top (Closure.apply cl Named.m3_b);
+      check_int "cl z = top" Named.m3_top (Closure.apply cl Named.m3_z))
+    cls
+
+let test_pointwise_order () =
+  let l = Named.chain 3 in
+  let id = Closure.identity l and top = Closure.to_top l in
+  check "id <= top" true (Closure.pointwise_leq id top);
+  check "top </= id" false (Closure.pointwise_leq top id)
+
+(* --- Galois connections --- *)
+
+module Galois = Sl_lattice.Galois
+
+let test_galois_of_closure () =
+  (* Every closure induces a connection onto its closed elements, whose
+     induced closure is the original one. *)
+  List.iter
+    (fun (name, l) ->
+      if Lattice.size l <= 6 then
+        List.iter
+          (fun cl ->
+            let c = Galois.of_closure l cl in
+            check (name ^ ": genuine connection") true
+              (Galois.is_connection c);
+            List.iter
+              (fun x ->
+                check_int
+                  (name ^ ": induced closure agrees")
+                  (Closure.apply cl x) (Galois.closure_of c x))
+              (Lattice.elements l))
+          (Closure.all l))
+    [ ("chain3", Named.chain 3); ("bool2", Named.boolean 2);
+      ("m3", Named.m3) ]
+
+let test_galois_lcl_connection () =
+  let c = Galois.lcl_connection ~max_len:2 ~alphabet:2 in
+  check "prefix/limit connection valid" true (Galois.is_connection c);
+  (* The induced map is a closure on the left powerset. *)
+  let l = Lattice.of_poset c.Galois.left in
+  check "induced closure valid" true
+    (Closure.validate l (Galois.closure_of c) = None);
+  (* Words sharing all prefixes get identified: a singleton observation
+     closes to itself (its prefix set pins it down). *)
+  check_int "singleton closed" 0b0001 (Galois.closure_of c 0b0001);
+  (* The kernel on the prefix side is contractive and idempotent. *)
+  List.iter
+    (fun y ->
+      check "kernel contractive" true
+        (Poset.leq c.Galois.right (Galois.kernel_of c y) y))
+    (Poset.elements c.Galois.right)
+
+let test_right_adjoint_search () =
+  (* The identity on a chain is its own adjoint. *)
+  let p = Poset.chain 4 in
+  (match Galois.right_adjoint_of p p Fun.id with
+  | None -> Alcotest.fail "identity has an adjoint"
+  | Some g ->
+      List.iter (fun x -> check_int "adjoint of id" x (g x))
+        (Poset.elements p));
+  (* A non-join-preserving map has none: collapse the 2-antichain's
+     powerset wrongly. *)
+  let b2 = Poset.powerset 2 in
+  let f x = if x = 0b11 then 0b11 else 0b00 in
+  (* f is monotone but f(01 v 10) = 11 <> f 01 v f 10 = 00; adjoint g
+     would need max{x : f x <= 00} to exist; it is {00,01,10}, whose max
+     doesn't exist. *)
+  check "no adjoint" true (Galois.right_adjoint_of b2 b2 f = None)
+
+(* --- Birkhoff duality --- *)
+
+let test_birkhoff_representation () =
+  List.iter
+    (fun (name, l) ->
+      let expected = Lattice.is_distributive l in
+      check (name ^ ": representation iff distributive") expected
+        (Birkhoff.check_representation l))
+    (List.filter (fun (_, l) -> Lattice.size l <= 16) Named.all_small)
+
+let test_downset_lattice_distributive () =
+  let p = Poset.of_covers ~size:4 ~covers:[ (0, 1); (0, 2); (1, 3); (2, 3) ] in
+  let l, _ = Birkhoff.downset_lattice p in
+  check "downset lattice distributive" true (Lattice.is_distributive l)
+
+let tests =
+  [ Alcotest.test_case "boolean algebra" `Quick test_boolean_is_boolean;
+    Alcotest.test_case "chain structure" `Quick test_chain_structure;
+    Alcotest.test_case "N5 / Figure 1" `Quick test_n5_figure1;
+    Alcotest.test_case "M3 / Figure 2" `Quick test_m3_figure2;
+    Alcotest.test_case "M3/N5 theorem" `Quick test_birkhoff_m3_n5_theorem;
+    Alcotest.test_case "Dedekind modularity" `Quick test_dedekind_modularity;
+    Alcotest.test_case "divisor lattice" `Quick test_divisor_lattice;
+    Alcotest.test_case "partition lattice" `Quick test_partition_lattice;
+    Alcotest.test_case "products" `Quick test_product_preserves_laws;
+    Alcotest.test_case "intervals" `Quick test_interval;
+    Alcotest.test_case "irreducibles" `Quick test_irreducibles;
+    Alcotest.test_case "sublattice closure" `Quick test_sublattice_closure;
+    Alcotest.test_case "closure axioms" `Quick test_closure_axioms;
+    Alcotest.test_case "closure from closed set" `Quick
+      test_closure_of_closed_set;
+    Alcotest.test_case "closure enumeration" `Quick test_closure_enumeration;
+    Alcotest.test_case "Figure 1 closure" `Quick test_fig1_closure;
+    Alcotest.test_case "Figure 2 closures" `Quick test_fig2_candidates;
+    Alcotest.test_case "pointwise order" `Quick test_pointwise_order;
+    Alcotest.test_case "Galois from closures" `Quick
+      test_galois_of_closure;
+    Alcotest.test_case "Galois lcl connection" `Quick
+      test_galois_lcl_connection;
+    Alcotest.test_case "right adjoint search" `Quick
+      test_right_adjoint_search;
+    Alcotest.test_case "Birkhoff representation" `Quick
+      test_birkhoff_representation;
+    Alcotest.test_case "downset lattice" `Quick
+      test_downset_lattice_distributive ]

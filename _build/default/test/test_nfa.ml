@@ -1,0 +1,253 @@
+module Nfa = Sl_nfa.Nfa
+module Dfa = Sl_nfa.Dfa
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* NFA over {a=0, b=1} accepting words containing "ab". *)
+let contains_ab =
+  Nfa.make ~alphabet:2 ~nstates:3 ~starts:[ 0 ]
+    ~delta:
+      [| [| [ 0; 1 ]; [ 0 ] |] (* 0: loop; guess the a *)
+       ; [| []; [ 2 ] |] (* 1: saw a, need b *)
+       ; [| [ 2 ]; [ 2 ] |] (* 2: accept sink *)
+      |]
+    ~accepting:[| false; false; true |]
+
+(* DFA over {a, b} accepting words with an even number of a's. *)
+let even_as =
+  Dfa.make ~alphabet:2 ~nstates:2 ~start:0
+    ~delta:[| [| 1; 0 |]; [| 0; 1 |] |]
+    ~accepting:[| true; false |]
+
+let test_nfa_accepts () =
+  check "ab" true (Nfa.accepts contains_ab [ 0; 1 ]);
+  check "bbabb" true (Nfa.accepts contains_ab [ 1; 1; 0; 1; 1 ]);
+  check "ba" false (Nfa.accepts contains_ab [ 1; 0 ]);
+  check "empty" false (Nfa.accepts contains_ab []);
+  check "aaa" false (Nfa.accepts contains_ab [ 0; 0; 0 ])
+
+let test_dfa_accepts () =
+  check "empty (0 a's)" true (Dfa.accepts even_as []);
+  check "a" false (Dfa.accepts even_as [ 0 ]);
+  check "aba" true (Dfa.accepts even_as [ 0; 1; 0 ])
+
+let all_words alphabet max_len =
+  let rec go len =
+    if len < 0 then []
+    else if len = 0 then [ [] ]
+    else
+      List.concat_map
+        (fun w -> List.init alphabet (fun s -> s :: w))
+        (go (len - 1))
+      @ go (len - 1)
+  in
+  List.sort_uniq compare (go max_len)
+
+let agree_on_words ?(max_len = 6) nfa dfa =
+  List.for_all
+    (fun w -> Nfa.accepts nfa w = Dfa.accepts dfa w)
+    (all_words 2 max_len)
+
+let test_determinize () =
+  let dfa = Nfa.determinize contains_ab in
+  check "language preserved" true (agree_on_words contains_ab dfa);
+  (* Subset DFA of this 3-state NFA stays small. *)
+  check "bounded" true (dfa.Dfa.nstates <= 8)
+
+let test_complement () =
+  let dfa = Nfa.determinize contains_ab in
+  let comp = Dfa.complement dfa in
+  List.iter
+    (fun w ->
+      check "complement flips" (not (Dfa.accepts dfa w)) (Dfa.accepts comp w))
+    (all_words 2 5)
+
+let test_product () =
+  let d1 = Nfa.determinize contains_ab in
+  let inter = Dfa.intersect d1 even_as in
+  let union = Dfa.union d1 even_as in
+  List.iter
+    (fun w ->
+      check "intersection" (Dfa.accepts d1 w && Dfa.accepts even_as w)
+        (Dfa.accepts inter w);
+      check "union" (Dfa.accepts d1 w || Dfa.accepts even_as w)
+        (Dfa.accepts union w))
+    (all_words 2 5)
+
+let test_emptiness_and_witness () =
+  check "contains_ab nonempty" false
+    (Dfa.is_empty (Nfa.determinize contains_ab));
+  Alcotest.(check (option (list int))) "shortest witness" (Some [ 0; 1 ])
+    (Dfa.some_accepted_word (Nfa.determinize contains_ab));
+  let never = Dfa.make ~alphabet:2 ~nstates:1 ~start:0
+      ~delta:[| [| 0; 0 |] |] ~accepting:[| false |] in
+  check "empty language" true (Dfa.is_empty never)
+
+let test_equivalence () =
+  let d = Nfa.determinize contains_ab in
+  check "reflexive" true (Dfa.equivalent d d);
+  check "not equal to even_as" false (Dfa.equivalent d even_as);
+  check "minimized equals original" true (Dfa.equivalent d (Dfa.minimize d))
+
+let test_subset () =
+  let d = Nfa.determinize contains_ab in
+  let univ = Dfa.complement (Dfa.make ~alphabet:2 ~nstates:1 ~start:0
+      ~delta:[| [| 0; 0 |] |] ~accepting:[| false |]) in
+  check "d subset univ" true (Dfa.subset d univ);
+  check "univ not subset d" false (Dfa.subset univ d)
+
+let test_minimize () =
+  (* A bloated automaton for "even a's": 4 states, two per class. *)
+  let bloated =
+    Dfa.make ~alphabet:2 ~nstates:4 ~start:0
+      ~delta:[| [| 1; 2 |]; [| 2; 3 |]; [| 3; 0 |]; [| 0; 1 |] |]
+      ~accepting:[| true; false; true; false |]
+  in
+  let m = Dfa.minimize bloated in
+  check_int "two classes" 2 m.Dfa.nstates;
+  check "same language" true (Dfa.equivalent m bloated);
+  check "equivalent to even_as" true (Dfa.equivalent m even_as)
+
+let test_prefix_closed () =
+  (* Words not containing "ab" form a prefix-closed language. *)
+  let no_ab = Dfa.complement (Nfa.determinize contains_ab) in
+  check "no_ab prefix closed" true (Dfa.is_prefix_closed no_ab);
+  check "contains_ab not prefix closed" false
+    (Dfa.is_prefix_closed (Nfa.determinize contains_ab));
+  check "even_as not prefix closed" false (Dfa.is_prefix_closed even_as)
+
+let test_nfa_prefix_closure () =
+  let pc = Nfa.prefix_closure contains_ab in
+  check "closure prefix closed" true (Nfa.is_prefix_closed pc);
+  (* Prefix closure contains every prefix of every accepted word. *)
+  List.iter
+    (fun w ->
+      if Nfa.accepts contains_ab w then
+        List.iteri
+          (fun i _ ->
+            let prefix = List.filteri (fun j _ -> j < i) w in
+            check "prefix in closure" true (Nfa.accepts pc prefix))
+          w)
+    (all_words 2 5)
+
+let test_union_nfa () =
+  let first_a =
+    Nfa.make ~alphabet:2 ~nstates:2 ~starts:[ 0 ]
+      ~delta:[| [| [ 1 ]; [] |]; [| [ 1 ]; [ 1 ] |] |]
+      ~accepting:[| false; true |]
+  in
+  let u = Nfa.union contains_ab first_a in
+  List.iter
+    (fun w ->
+      check "union semantics"
+        (Nfa.accepts contains_ab w || Nfa.accepts first_a w)
+        (Nfa.accepts u w))
+    (all_words 2 5)
+
+let test_trim () =
+  (* Add junk unreachable and dead states around contains_ab. *)
+  let bloated =
+    Nfa.make ~alphabet:2 ~nstates:5 ~starts:[ 0 ]
+      ~delta:
+        [| [| [ 0; 1 ]; [ 0; 3 ] |]; [| []; [ 2 ] |]; [| [ 2 ]; [ 2 ] |];
+           [| []; [] |] (* dead *); [| [ 2 ]; [] |] (* unreachable *)
+        |]
+      ~accepting:[| false; false; true; false; false |]
+  in
+  let t = Nfa.trim bloated in
+  check_int "only useful states" 3 t.Nfa.nstates;
+  check "language preserved" true (Nfa.language_equal t bloated)
+
+let test_reverse () =
+  let r = Nfa.reverse contains_ab in
+  (* Reverse language: words containing "ba" (the mirror of "ab"). *)
+  check "ba in reverse" true (Nfa.accepts r [ 1; 0 ]);
+  check "ab not in reverse" false (Nfa.accepts r [ 0; 1 ]);
+  (* Double reversal restores the language. *)
+  check "involution" true
+    (Nfa.language_equal contains_ab (Nfa.reverse (Nfa.reverse contains_ab)))
+
+let test_brzozowski () =
+  let moore = Nfa.reverse_determinize_minimize contains_ab in
+  let brz = Nfa.brzozowski_minimize contains_ab in
+  check "same language" true (Dfa.equivalent moore brz);
+  Alcotest.(check int) "same (minimal) size" moore.Dfa.nstates
+    brz.Dfa.nstates
+
+let prop_brzozowski_equals_moore =
+  QCheck.Test.make ~name:"Brzozowski = Moore on random NFAs" ~count:50
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let st = Random.State.make [| seed |] in
+      let nstates = 1 + Random.State.int st 5 in
+      let delta =
+        Array.init nstates (fun _ ->
+            Array.init 2 (fun _ ->
+                List.filter (fun _ -> Random.State.bool st)
+                  (List.init nstates Fun.id)))
+      in
+      let accepting = Array.init nstates (fun _ -> Random.State.bool st) in
+      let nfa =
+        Nfa.make ~alphabet:2 ~nstates ~starts:[ 0 ] ~delta ~accepting
+      in
+      let moore = Nfa.reverse_determinize_minimize nfa in
+      let brz = Nfa.brzozowski_minimize nfa in
+      Dfa.equivalent moore brz && moore.Dfa.nstates = brz.Dfa.nstates)
+
+let prop_determinize_preserves =
+  QCheck.Test.make ~name:"determinize preserves language" ~count:60
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let st = Random.State.make [| seed |] in
+      let nstates = 1 + Random.State.int st 5 in
+      let delta =
+        Array.init nstates (fun _ ->
+            Array.init 2 (fun _ ->
+                List.filter (fun _ -> Random.State.bool st)
+                  (List.init nstates Fun.id)))
+      in
+      let accepting = Array.init nstates (fun _ -> Random.State.bool st) in
+      let nfa =
+        Nfa.make ~alphabet:2 ~nstates ~starts:[ 0 ] ~delta ~accepting
+      in
+      agree_on_words ~max_len:5 nfa (Nfa.determinize nfa))
+
+let prop_minimize_canonical =
+  QCheck.Test.make ~name:"minimize yields equivalent minimal DFA" ~count:40
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let st = Random.State.make [| seed |] in
+      let nstates = 1 + Random.State.int st 6 in
+      let delta =
+        Array.init nstates (fun _ ->
+            Array.init 2 (fun _ -> Random.State.int st nstates))
+      in
+      let accepting = Array.init nstates (fun _ -> Random.State.bool st) in
+      let dfa = Dfa.make ~alphabet:2 ~nstates ~start:0 ~delta ~accepting in
+      let m = Dfa.minimize dfa in
+      Dfa.equivalent dfa m
+      && m.Dfa.nstates <= dfa.Dfa.nstates
+      && Dfa.equivalent (Dfa.minimize m) m
+      && (Dfa.minimize m).Dfa.nstates = m.Dfa.nstates)
+
+let tests =
+  [ Alcotest.test_case "nfa acceptance" `Quick test_nfa_accepts;
+    Alcotest.test_case "dfa acceptance" `Quick test_dfa_accepts;
+    Alcotest.test_case "determinization" `Quick test_determinize;
+    Alcotest.test_case "complement" `Quick test_complement;
+    Alcotest.test_case "products" `Quick test_product;
+    Alcotest.test_case "emptiness and witnesses" `Quick
+      test_emptiness_and_witness;
+    Alcotest.test_case "equivalence" `Quick test_equivalence;
+    Alcotest.test_case "subset" `Quick test_subset;
+    Alcotest.test_case "minimization" `Quick test_minimize;
+    Alcotest.test_case "prefix-closedness" `Quick test_prefix_closed;
+    Alcotest.test_case "prefix closure" `Quick test_nfa_prefix_closure;
+    Alcotest.test_case "nfa union" `Quick test_union_nfa;
+    Alcotest.test_case "trim" `Quick test_trim;
+    Alcotest.test_case "reverse" `Quick test_reverse;
+    Alcotest.test_case "Brzozowski minimization" `Quick test_brzozowski;
+    QCheck_alcotest.to_alcotest prop_brzozowski_equals_moore;
+    QCheck_alcotest.to_alcotest prop_determinize_preserves;
+    QCheck_alcotest.to_alcotest prop_minimize_canonical ]

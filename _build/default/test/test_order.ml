@@ -1,0 +1,177 @@
+module Poset = Sl_order.Poset
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_chain () =
+  let p = Poset.chain 4 in
+  check "0<=3" true (Poset.leq p 0 3);
+  check "3<=0" false (Poset.leq p 3 0);
+  check_int "height" 4 (Poset.height p);
+  check_int "width" 1 (Poset.width p);
+  Alcotest.(check (list (pair int int)))
+    "covers" [ (0, 1); (1, 2); (2, 3) ] (Poset.covers p)
+
+let test_antichain () =
+  let p = Poset.antichain 5 in
+  check_int "height" 1 (Poset.height p);
+  check_int "width" 5 (Poset.width p);
+  check "incomparable" false (Poset.comparable p 0 1)
+
+let test_powerset () =
+  let p = Poset.powerset 3 in
+  check_int "size" 8 (Poset.size p);
+  check "sub" true (Poset.leq p 0b001 0b011);
+  check "not sub" false (Poset.leq p 0b011 0b101);
+  check_int "height" 4 (Poset.height p);
+  check_int "width" 3 (Poset.width p);
+  Alcotest.(check (option int)) "bottom" (Some 0) (Poset.bottom p);
+  Alcotest.(check (option int)) "top" (Some 7) (Poset.top p)
+
+let test_divisors () =
+  let p, ds = Poset.divisors 12 in
+  Alcotest.(check (array int)) "divisors" [| 1; 2; 3; 4; 6; 12 |] ds;
+  check "2 | 4" true (Poset.leq p 1 3);
+  check "4 | 6 fails" false (Poset.leq p 3 4);
+  check_int "height(12)" 4 (Poset.height p)
+
+let test_of_covers_rejects_cycle () =
+  Alcotest.check_raises "cycle"
+    (Poset.Invalid_order "not antisymmetric at (0, 1)") (fun () ->
+      ignore (Poset.of_covers ~size:2 ~covers:[ (0, 1); (1, 0) ]))
+
+let test_make_rejects_non_transitive () =
+  let raised =
+    try
+      ignore
+        (Poset.make ~size:3 ~leq:(fun x y ->
+             x = y || (x = 0 && y = 1) || (y = 2 && x = 1)));
+      false
+    with Poset.Invalid_order _ -> true
+  in
+  check "non-transitive rejected" true raised
+
+let test_meets_joins () =
+  let p = Poset.powerset 2 in
+  Alcotest.(check (option int)) "meet" (Some 0b00)
+    (Poset.meet_opt p 0b01 0b10);
+  Alcotest.(check (option int)) "join" (Some 0b11)
+    (Poset.join_opt p 0b01 0b10);
+  (* Remove the top of the square: join of the two atoms disappears. *)
+  let q =
+    Poset.make ~size:3 ~leq:(fun x y -> x = y || (x = 0 && (y = 1 || y = 2)))
+  in
+  Alcotest.(check (option int)) "no join" None (Poset.join_opt q 1 2)
+
+let test_up_down_sets () =
+  let p = Poset.powerset 2 in
+  Alcotest.(check (list int)) "down of atom" [ 0b00; 0b01 ]
+    (Poset.down_set p 0b01);
+  Alcotest.(check (list int)) "up of atom" [ 0b01; 0b11 ]
+    (Poset.up_set p 0b01);
+  check "down-set" true (Poset.is_down_set p [ 0; 1 ]);
+  check "not down-set" false (Poset.is_down_set p [ 1 ]);
+  Alcotest.(check (list int)) "down closure" [ 0; 1 ]
+    (Poset.down_closure p [ 1 ])
+
+let test_chains_antichains () =
+  let p = Poset.powerset 2 in
+  check "chain" true (Poset.is_chain p [ 0b00; 0b01; 0b11 ]);
+  check "not chain" false (Poset.is_chain p [ 0b01; 0b10 ]);
+  check "antichain" true (Poset.is_antichain p [ 0b01; 0b10 ]);
+  check "not antichain" false (Poset.is_antichain p [ 0b00; 0b01 ])
+
+let test_chain_cover () =
+  List.iter
+    (fun (name, p) ->
+      let cover = Poset.minimum_chain_cover p in
+      check_int (name ^ ": Dilworth count") (Poset.width p)
+        (List.length cover);
+      (* The cover partitions the carrier into genuine chains. *)
+      List.iter
+        (fun c -> check (name ^ ": is chain") true (Poset.is_chain p c))
+        cover;
+      Alcotest.(check (list int))
+        (name ^ ": partition")
+        (Poset.elements p)
+        (List.sort compare (List.concat cover)))
+    [ ("chain5", Poset.chain 5); ("antichain4", Poset.antichain 4);
+      ("bool3", Poset.powerset 3); ("div12", fst (Poset.divisors 12)) ]
+
+let test_all_down_sets () =
+  (* Down-sets of the 2-antichain: {}, {0}, {1}, {0,1}. *)
+  let p = Poset.antichain 2 in
+  Alcotest.(check int) "count" 4 (List.length (Poset.all_down_sets p));
+  (* Down-sets of a 3-chain: 4. *)
+  let c = Poset.chain 3 in
+  Alcotest.(check int) "chain count" 4 (List.length (Poset.all_down_sets c));
+  (* Fence/vee poset 0 < 1, 0 < 2: {}, {0}, {0,1}, {0,2}, {0,1,2}. *)
+  let v = Poset.of_covers ~size:3 ~covers:[ (0, 1); (0, 2) ] in
+  Alcotest.(check int) "vee count" 5 (List.length (Poset.all_down_sets v))
+
+let test_product_dual () =
+  let p = Poset.product (Poset.chain 2) (Poset.chain 2) in
+  check "square iso to powerset 2" true
+    (Option.is_some (Poset.isomorphic p (Poset.powerset 2)));
+  let d = Poset.dual (Poset.chain 3) in
+  check "dual reverses" true (Poset.leq d 2 0)
+
+let test_linear_extension () =
+  let p = Poset.powerset 3 in
+  let ext = Poset.linear_extension p in
+  let rec respects = function
+    | [] -> true
+    | x :: rest ->
+        List.for_all (fun y -> not (Poset.lt p y x)) rest && respects rest
+  in
+  check "respects order" true (respects ext);
+  check_int "length" 8 (List.length ext)
+
+let test_monotone () =
+  let c3 = Poset.chain 3 and c2 = Poset.chain 2 in
+  check "floor monotone" true
+    (Poset.is_monotone c3 c2 (fun x -> if x >= 1 then 1 else 0));
+  check "flip not monotone" false (Poset.is_monotone c3 c3 (fun x -> 2 - x));
+  check "embedding" true
+    (Poset.is_order_embedding c2 c3 (fun x -> if x = 0 then 0 else 2))
+
+let test_isomorphism () =
+  check "chain3 ~ chain3" true
+    (Option.is_some (Poset.isomorphic (Poset.chain 3) (Poset.chain 3)));
+  check "chain3 !~ antichain3" false
+    (Option.is_some (Poset.isomorphic (Poset.chain 3) (Poset.antichain 3)));
+  check "different sizes" false
+    (Option.is_some (Poset.isomorphic (Poset.chain 3) (Poset.chain 4)))
+
+let contains_substring haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i =
+    if i + nn > nh then false
+    else if String.sub haystack i nn = needle then true
+    else go (i + 1)
+  in
+  go 0
+
+let test_dot_export () =
+  let dot = Poset.to_dot (Poset.chain 2) in
+  check "has edge" true (contains_substring dot "n0 -> n1")
+
+let tests =
+  [ Alcotest.test_case "chain" `Quick test_chain;
+    Alcotest.test_case "antichain" `Quick test_antichain;
+    Alcotest.test_case "powerset" `Quick test_powerset;
+    Alcotest.test_case "divisors" `Quick test_divisors;
+    Alcotest.test_case "of_covers rejects cycles" `Quick
+      test_of_covers_rejects_cycle;
+    Alcotest.test_case "make rejects non-transitive" `Quick
+      test_make_rejects_non_transitive;
+    Alcotest.test_case "meets and joins" `Quick test_meets_joins;
+    Alcotest.test_case "up/down sets" `Quick test_up_down_sets;
+    Alcotest.test_case "chains and antichains" `Quick test_chains_antichains;
+    Alcotest.test_case "minimum chain cover" `Quick test_chain_cover;
+    Alcotest.test_case "all down-sets" `Quick test_all_down_sets;
+    Alcotest.test_case "product and dual" `Quick test_product_dual;
+    Alcotest.test_case "linear extension" `Quick test_linear_extension;
+    Alcotest.test_case "monotone maps" `Quick test_monotone;
+    Alcotest.test_case "isomorphism search" `Quick test_isomorphism;
+    Alcotest.test_case "dot export" `Quick test_dot_export ]

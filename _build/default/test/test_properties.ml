@@ -1,0 +1,187 @@
+(* Cross-cutting property-based suites: algebraic laws the substrates must
+   satisfy, sampled over random or exhaustively enumerated inputs. *)
+
+module Poset = Sl_order.Poset
+module Lattice = Sl_lattice.Lattice
+module Named = Sl_lattice.Named
+module Closure = Sl_lattice.Closure
+module Lasso = Sl_word.Lasso
+module Buchi = Sl_buchi.Buchi
+module Ops = Sl_buchi.Ops
+module Bclosure = Sl_buchi.Closure
+module Hierarchy = Sl_buchi.Hierarchy
+module Patterns = Sl_buchi.Patterns
+module Ftree = Sl_tree.Ftree
+
+let check = Alcotest.(check bool)
+
+let small_lassos = Lasso.enumerate ~alphabet:2 ~max_prefix:2 ~max_cycle:2
+
+(* --- Lattice algebra --- *)
+
+let prop_product_laws =
+  QCheck.Test.make ~name:"product lattice: modular iff both factors"
+    ~count:30
+    QCheck.(pair (int_range 0 16) (int_range 0 16))
+    (fun (i, j) ->
+      let corpus = Array.of_list (List.map snd Named.all_small) in
+      let a = corpus.(i mod Array.length corpus) in
+      let b = corpus.(j mod Array.length corpus) in
+      QCheck.assume (Lattice.size a * Lattice.size b <= 40);
+      let p = Lattice.product a b in
+      Lattice.is_modular p = (Lattice.is_modular a && Lattice.is_modular b)
+      && Lattice.is_distributive p
+         = (Lattice.is_distributive a && Lattice.is_distributive b))
+
+let prop_closure_meet_system =
+  (* The pointwise meet of the closed-set systems (union of closed
+     families' intersection...) — precisely: intersecting two closure
+     systems yields a closure system, whose operator dominates both. *)
+  QCheck.Test.make ~name:"intersection of closure systems is a closure"
+    ~count:40
+    QCheck.(pair (int_bound 10_000) (int_bound 10_000))
+    (fun (s1, s2) ->
+      let l = Named.boolean 2 in
+      let pick seed =
+        let st = Random.State.make [| seed |] in
+        List.filter (fun _ -> Random.State.bool st) (Lattice.elements l)
+      in
+      let cl1 = Closure.of_closed_set l (pick s1) in
+      let cl2 = Closure.of_closed_set l (pick s2) in
+      let joint =
+        Closure.of_closed_set l
+          (List.filter
+             (fun x -> Closure.is_closed cl1 x && Closure.is_closed cl2 x)
+             (Lattice.elements l))
+      in
+      Closure.pointwise_leq cl1 joint && Closure.pointwise_leq cl2 joint)
+
+let prop_dual_involution =
+  QCheck.Test.make ~name:"dual of dual is the lattice" ~count:20
+    QCheck.(int_range 0 16)
+    (fun i ->
+      let corpus = Array.of_list (List.map snd Named.all_small) in
+      let l = corpus.(i mod Array.length corpus) in
+      QCheck.assume (Lattice.size l <= 16);
+      Poset.equal
+        (Lattice.poset (Lattice.dual (Lattice.dual l)))
+        (Lattice.poset l))
+
+(* --- Lasso algebra --- *)
+
+let prop_append_shift_inverse =
+  QCheck.Test.make ~name:"shift undoes append_prefix" ~count:200
+    QCheck.(
+      pair
+        (list_of_size Gen.(0 -- 3) (int_bound 1))
+        (pair (list_of_size Gen.(0 -- 2) (int_bound 1))
+           (list_of_size Gen.(1 -- 3) (int_bound 1))))
+    (fun (u, (p, c)) ->
+      let w = Lasso.make ~prefix:p ~cycle:c in
+      Lasso.equal (Lasso.shift (Lasso.append_prefix u w) (List.length u)) w)
+
+let prop_map_identity =
+  QCheck.Test.make ~name:"map id = id" ~count:100
+    QCheck.(
+      pair (list_of_size Gen.(0 -- 3) (int_bound 2))
+        (list_of_size Gen.(1 -- 3) (int_bound 2)))
+    (fun (p, c) ->
+      let w = Lasso.make ~prefix:p ~cycle:c in
+      Lasso.equal (Lasso.map Fun.id w) w)
+
+(* --- Büchi algebra (sampled on the lasso grid) --- *)
+
+let random_buchi seed n =
+  Buchi.random ~seed ~alphabet:2 ~nstates:n ~density:0.3
+    ~accepting_fraction:0.4 ()
+
+let prop_union_commutes =
+  QCheck.Test.make ~name:"union commutes (per lasso)" ~count:40
+    QCheck.(pair (int_bound 10_000) (int_bound 10_000))
+    (fun (s1, s2) ->
+      let a = random_buchi s1 4 and b = random_buchi s2 4 in
+      List.for_all
+        (fun w ->
+          Buchi.accepts_lasso (Ops.union a b) w
+          = Buchi.accepts_lasso (Ops.union b a) w)
+        small_lassos)
+
+let prop_intersect_idempotent =
+  QCheck.Test.make ~name:"intersection with itself (per lasso)" ~count:30
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let a = random_buchi seed 4 in
+      List.for_all
+        (fun w ->
+          Buchi.accepts_lasso (Ops.intersect a a) w
+          = Buchi.accepts_lasso a w)
+        small_lassos)
+
+let prop_demorgan_sampled =
+  QCheck.Test.make ~name:"closure distributes over union (lcl is topological)"
+    ~count:30
+    QCheck.(pair (int_bound 10_000) (int_bound 10_000))
+    (fun (s1, s2) ->
+      let a = random_buchi s1 4 and b = random_buchi s2 4 in
+      (* lcl(A ∪ B) = lcl A ∪ lcl B — the union axiom that holds in the
+         linear framework (and fails for ncl on trees). *)
+      List.for_all
+        (fun w ->
+          Buchi.accepts_lasso (Bclosure.bcl (Ops.union a b)) w
+          = Buchi.accepts_lasso (Ops.union (Bclosure.bcl a) (Bclosure.bcl b)) w)
+        small_lassos)
+
+(* --- Structural hierarchy --- *)
+
+let test_hierarchy_patterns () =
+  Alcotest.(check string) "p1 terminal" "terminal"
+    (Hierarchy.classify_structural Patterns.p1);
+  Alcotest.(check string) "p3 terminal" "terminal"
+    (Hierarchy.classify_structural Patterns.p3);
+  Alcotest.(check string) "p4 weak" "weak"
+    (Hierarchy.classify_structural Patterns.p4);
+  Alcotest.(check string) "p5 general" "general"
+    (Hierarchy.classify_structural Patterns.p5);
+  Alcotest.(check string) "p6 safety-shaped" "safety-shaped"
+    (Hierarchy.classify_structural Patterns.p6);
+  (* bcl always produces safety-shaped automata (on nonempty input). *)
+  List.iter
+    (fun (name, _, b) ->
+      if not (Buchi.is_empty b) then
+        Alcotest.(check string)
+          (name ^ " closure shape")
+          "safety-shaped"
+          (Hierarchy.classify_structural (Bclosure.bcl b)))
+    Patterns.rem_examples
+
+let test_terminal_complement_is_safety () =
+  (* The safety complement construction yields terminal automata, and
+     terminal languages have safety complements: the two constructions
+     are dual. *)
+  let closed = Bclosure.bcl Patterns.p3 in
+  let comp = Sl_buchi.Complement.complement_closed closed in
+  check "complement of closed is terminal" true (Hierarchy.is_terminal comp);
+  check "terminal is weak" true (Hierarchy.is_weak comp)
+
+let prop_terminal_implies_weak =
+  QCheck.Test.make ~name:"terminal automata are weak" ~count:200
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let b = random_buchi seed 5 in
+      QCheck.assume (Hierarchy.is_terminal b);
+      Hierarchy.is_weak b)
+
+let tests =
+  [ QCheck_alcotest.to_alcotest prop_product_laws;
+    QCheck_alcotest.to_alcotest prop_closure_meet_system;
+    QCheck_alcotest.to_alcotest prop_dual_involution;
+    QCheck_alcotest.to_alcotest prop_append_shift_inverse;
+    QCheck_alcotest.to_alcotest prop_map_identity;
+    QCheck_alcotest.to_alcotest prop_union_commutes;
+    QCheck_alcotest.to_alcotest prop_intersect_idempotent;
+    QCheck_alcotest.to_alcotest prop_demorgan_sampled;
+    Alcotest.test_case "hierarchy of the patterns" `Quick
+      test_hierarchy_patterns;
+    Alcotest.test_case "terminal/safety duality" `Quick
+      test_terminal_complement_is_safety;
+    QCheck_alcotest.to_alcotest prop_terminal_implies_weak ]

@@ -1,0 +1,195 @@
+module Regex = Sl_regex.Regex
+module Omega = Sl_regex.Omega
+module Nfa = Sl_nfa.Nfa
+module Buchi = Sl_buchi.Buchi
+module Lasso = Sl_word.Lasso
+
+let check = Alcotest.(check bool)
+
+(* Naive denotational matcher: the independent oracle. *)
+let rec denotes r word =
+  match (r : Regex.t) with
+  | Empty -> false
+  | Eps -> word = []
+  | Sym s -> word = [ s ]
+  | Alt (a, b) -> denotes a word || denotes b word
+  | Seq (a, b) ->
+      let n = List.length word in
+      List.exists
+        (fun k ->
+          denotes a (List.filteri (fun i _ -> i < k) word)
+          && denotes b (List.filteri (fun i _ -> i >= k) word))
+        (List.init (n + 1) Fun.id)
+  | Star a ->
+      word = []
+      || (* Split off a nonempty a-prefix. *)
+      List.exists
+        (fun k ->
+          denotes a (List.filteri (fun i _ -> i < k) word)
+          && denotes r (List.filteri (fun i _ -> i >= k) word))
+        (List.init (List.length word) (fun i -> i + 1))
+
+let all_words alphabet max_len =
+  let rec go len =
+    if len = 0 then [ [] ]
+    else
+      List.concat_map
+        (fun w -> List.init alphabet (fun s -> s :: w))
+        (go (len - 1))
+  in
+  List.concat_map go (List.init (max_len + 1) Fun.id)
+
+let corpus =
+  [ "_0"; "_1"; "a"; "ab"; "a|b"; "(a|b)*"; "a*b*"; "(ab)*"; "aa*b";
+    "(a|b)(a|b)"; "a(ba)*"; "(a|_1)b"; "(a*)*"; "a|_0"; "_0a" ]
+
+let test_parser_roundtrip () =
+  List.iter
+    (fun s ->
+      match Regex.parse s with
+      | Error e -> Alcotest.failf "parse %S: %s" s e
+      | Ok r -> (
+          match Regex.parse (Regex.to_string r) with
+          | Ok r' when r = r' -> ()
+          | Ok r' ->
+              (* Round trip may reassociate; require language equality. *)
+              List.iter
+                (fun w ->
+                  check ("roundtrip " ^ s) (denotes r w) (denotes r' w))
+                (all_words 2 4)
+          | Error e -> Alcotest.failf "reparse: %s" e))
+    corpus;
+  check "reject" true (Result.is_error (Regex.parse "((a)"));
+  check "reject op" true (Result.is_error (Regex.parse "*a"))
+
+let test_nfa_matches_denotation () =
+  List.iter
+    (fun s ->
+      let r = Regex.parse_exn s in
+      List.iter
+        (fun w ->
+          check
+            (Printf.sprintf "%s on %s" s
+               (String.concat "" (List.map string_of_int w)))
+            (denotes r w)
+            (Regex.matches ~alphabet:2 r w))
+        (all_words 2 5))
+    corpus
+
+let test_eps_handling () =
+  let r = Regex.parse_exn "(a|_1)b*" in
+  check "accepts eps" true (Regex.accepts_eps r);
+  let stripped = Regex.strip_eps r in
+  check "strip drops eps" false (Regex.accepts_eps stripped);
+  List.iter
+    (fun w ->
+      if w <> [] then
+        check "strip keeps nonempty" (denotes r w) (denotes stripped w))
+    (all_words 2 4)
+
+let prop_random_regexes =
+  let gen =
+    QCheck.Gen.(
+      sized @@ fix (fun self n ->
+          if n <= 1 then
+            oneofl [ Regex.Empty; Regex.Eps; Regex.Sym 0; Regex.Sym 1 ]
+          else
+            let sub = self (n / 2) in
+            oneof
+              [ map2 (fun a b -> Regex.Alt (a, b)) sub sub;
+                map2 (fun a b -> Regex.Seq (a, b)) sub sub;
+                map (fun a -> Regex.Star a) sub ]))
+  in
+  QCheck.Test.make ~name:"random regex: NFA = denotation" ~count:120
+    (QCheck.make ~print:Regex.to_string gen)
+    (fun r ->
+      List.for_all
+        (fun w -> denotes r w = Regex.matches ~alphabet:2 r w)
+        (all_words 2 4))
+
+(* --- Omega --- *)
+
+let test_omega_parser () =
+  List.iter
+    (fun s ->
+      match Omega.parse s with
+      | Error e -> Alcotest.failf "parse %S: %s" s e
+      | Ok o -> (
+          match Omega.parse (Omega.to_string o) with
+          | Ok o' when List.length o = List.length o' -> ()
+          | Ok _ -> Alcotest.failf "roundtrip changed arity for %S" s
+          | Error e -> Alcotest.failf "reparse: %s" e))
+    [ "(a)^w"; "a(b)^w"; "(a|b)*(b)^w + a(a)^w"; "ab(ab)^w" ];
+  check "reject missing omega" true (Result.is_error (Omega.parse "ab"))
+
+let test_omega_simple_languages () =
+  let lassos = Lasso.enumerate ~alphabet:2 ~max_prefix:2 ~max_cycle:3 in
+  let cases =
+    [ (* (a)^w accepts exactly a^ω *)
+      ("(a)^w", fun w -> Lasso.equal w (Lasso.constant 0));
+      (* b(a)^w *)
+      ("b(a)^w",
+       fun w -> Lasso.equal w (Lasso.make ~prefix:[ 1 ] ~cycle:[ 0 ]));
+      (* (ab)^w *)
+      ("(ab)^w",
+       fun w -> Lasso.equal w (Lasso.make ~prefix:[] ~cycle:[ 0; 1 ]));
+      (* (a|b)*(b)^w: finitely many a's *)
+      ("(a|b)*(b)^w",
+       fun w ->
+         match Lasso.count_letter w 0 with
+         | `Finitely _ -> true
+         | `Infinitely -> false) ]
+  in
+  List.iter
+    (fun (src, oracle) ->
+      let o = Omega.parse_exn src in
+      List.iter
+        (fun w ->
+          check
+            (Printf.sprintf "%s on %s" src (Lasso.to_string w))
+            (oracle w)
+            (Omega.accepts_lasso ~alphabet:2 o w))
+        lassos)
+    cases
+
+let test_omega_rem_examples () =
+  (* The ω-regex presentations of p0-p6 define the same languages as the
+     hand-built automata (and hence as the LTL translations, which are
+     tested against those elsewhere). *)
+  List.iter2
+    (fun (name, o) (name', _, hand_built) ->
+      assert (name = name');
+      check
+        (name ^ " regex = automaton")
+        true
+        (Sl_buchi.Lang.sampled_equal ~max_prefix:3 ~max_cycle:3
+           (Omega.to_buchi ~alphabet:2 o)
+           hand_built))
+    Omega.rem_examples Sl_buchi.Patterns.rem_examples
+
+let test_omega_classification () =
+  (* Classification through the regex presentation agrees with the
+     table. *)
+  let classify o =
+    Sl_buchi.Decompose.classify (Omega.to_buchi ~alphabet:2 o)
+  in
+  Alcotest.(check string) "p4 regex is liveness" "liveness"
+    (Sl_buchi.Decompose.classification_to_string
+       (classify (List.assoc "p4" Omega.rem_examples)));
+  Alcotest.(check string) "p1 regex is safety" "safety"
+    (Sl_buchi.Decompose.classification_to_string
+       (classify (List.assoc "p1" Omega.rem_examples)))
+
+let tests =
+  [ Alcotest.test_case "regex parser" `Quick test_parser_roundtrip;
+    Alcotest.test_case "NFA vs denotation" `Slow
+      test_nfa_matches_denotation;
+    Alcotest.test_case "epsilon handling" `Quick test_eps_handling;
+    QCheck_alcotest.to_alcotest prop_random_regexes;
+    Alcotest.test_case "omega parser" `Quick test_omega_parser;
+    Alcotest.test_case "omega simple languages" `Quick
+      test_omega_simple_languages;
+    Alcotest.test_case "omega Rem presentations" `Quick
+      test_omega_rem_examples;
+    Alcotest.test_case "omega classification" `Quick
+      test_omega_classification ]

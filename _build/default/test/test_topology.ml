@@ -1,0 +1,129 @@
+module Cs = Sl_topology.Closure_space
+module Tclosure = Sl_tree.Tclosure
+module Ptree = Sl_tree.Ptree
+module Examples = Sl_ctl.Examples
+
+let check = Alcotest.(check bool)
+
+let ok v = v = Ok ()
+
+let test_discrete_indiscrete () =
+  let d = Cs.discrete 3 and i = Cs.indiscrete 3 in
+  check "discrete topological" true (ok (Cs.is_topological d));
+  check "indiscrete topological" true (ok (Cs.is_topological i));
+  Alcotest.(check int) "discrete closed count" 8
+    (List.length (Cs.closed_sets d));
+  Alcotest.(check int) "indiscrete closed count" 2
+    (List.length (Cs.closed_sets i))
+
+let test_from_closed_sets () =
+  (* Closed family {∅, 0b001, 0b010} (plus the carrier): meet-closed but
+     not union-closed (0b011 is missing) -> lattice closure, not
+     topological. *)
+  let space = Cs.from_closed_sets ~size:3 ~closed:[ 0b001; 0b010; 0b000 ] in
+  check "lattice closure" true (ok (Cs.is_lattice_closure space));
+  check "not topological" false (ok (Cs.is_topological space));
+  (match Cs.preserves_union space with
+  | Error ("does not preserve union", _) -> ()
+  | _ -> Alcotest.fail "expected union failure");
+  check "not union closed" false (Cs.closed_under_union space);
+  check "intersection closed" true (Cs.closed_under_intersection space)
+
+let test_kuratowski_violations () =
+  let not_extensive = Cs.make ~size:2 ~cl:(fun _ -> 0) in
+  (match Cs.is_extensive not_extensive with
+  | Error ("not extensive", _) -> ()
+  | _ -> Alcotest.fail "extensivity check");
+  let not_idempotent =
+    (* Grow by one point per application. *)
+    Cs.make ~size:2 ~cl:(fun s ->
+        if s = 0b01 then 0b11 else if s = 0 then 0b01 else s)
+  in
+  match Cs.is_idempotent not_idempotent with
+  | Error ("not idempotent", _) -> ()
+  | _ -> Alcotest.fail "idempotence check"
+
+let test_lcl_topological () =
+  (* The executable shadow of Section 2.2: lcl is a topological closure. *)
+  let space, lassos = Cs.lcl_on_lassos ~max_prefix:1 ~max_cycle:2
+      ~alphabet:2 in
+  check "grid nonempty" true (Array.length lassos > 4);
+  check "lcl topological" true (ok (Cs.is_topological space));
+  check "lcl union-preserving" true (ok (Cs.preserves_union space));
+  check "closed sets union closed" true (Cs.closed_under_union space)
+
+(* The paper's Section 4.2 asymmetry: fcl defines a topology, ncl does
+   not — ncl (p ∪ q) can exceed ncl p ∪ ncl q. Witness: the total tree
+   with an all-a spine to the left and an all-b spine to the right, with
+   p = q4a (all paths eventually free of a) and q = q5a (all paths hit a
+   forever). *)
+let two_spines =
+  (* 0: root a; 1: a-spine (unary); 2: b-spine (unary). *)
+  Ptree.make ~k:2 ~nstates:3 ~root:0 ~label:[| 0; 0; 1 |]
+    ~children:
+      [| [| Some 1; Some 2 |]; [| Some 1; None |]; [| Some 2; None |] |]
+
+let test_ncl_not_topological () =
+  let p = Examples.q4a and q = Examples.q5a in
+  let u = Tclosure.union p q in
+  let y = two_spines in
+  check "y total" true (Ptree.is_total y);
+  check "y not in p" false (p.Tclosure.mem y);
+  check "y not in q" false (q.Tclosure.mem y);
+  (* Every non-total prefix of y kills one spine or the other, so it
+     extends into p or into q... *)
+  check "y in ncl (p|q)" true (Tclosure.ncl_mem u ~max_depth:4 y);
+  (* ...but the prefix cutting inside the b-spine keeps the a-spine and
+     refutes ncl p; symmetrically for q. *)
+  check "y not in ncl p" false (Tclosure.ncl_mem p ~max_depth:4 y);
+  check "y not in ncl q" false (Tclosure.ncl_mem q ~max_depth:4 y)
+
+let test_fcl_is_topological_on_same_witness () =
+  (* fcl (p ∪ q) = fcl p ∪ fcl q holds on the whole sample for the same
+     pair (both sides are everything here: q4a and q5a are universally
+     live). *)
+  let p = Examples.q4a and q = Examples.q5a in
+  let u = Tclosure.union p q in
+  List.iter
+    (fun y ->
+      check "fcl distributes"
+        (Tclosure.fcl_mem u ~max_depth:3 y)
+        (Tclosure.fcl_mem p ~max_depth:3 y
+        || Tclosure.fcl_mem q ~max_depth:3 y))
+    (two_spines :: Examples.sample)
+
+let test_fcl_union_across_pairs () =
+  (* Distribution of fcl over unions across all pairs of the q-examples
+     on the shared sample. *)
+  List.iter
+    (fun p ->
+      List.iter
+        (fun q ->
+          let u = Tclosure.union p q in
+          List.iter
+            (fun y ->
+              check
+                (Printf.sprintf "fcl(%s | %s)" p.Tclosure.name
+                   q.Tclosure.name)
+                (Tclosure.fcl_mem u ~max_depth:2 y)
+                (Tclosure.fcl_mem p ~max_depth:2 y
+                || Tclosure.fcl_mem q ~max_depth:2 y))
+            Examples.sample)
+        [ Examples.q1; Examples.q3a; Examples.q4a; Examples.q5a ])
+    [ Examples.q2; Examples.q4b; Examples.q5b ]
+
+let tests =
+  [ Alcotest.test_case "discrete / indiscrete" `Quick
+      test_discrete_indiscrete;
+    Alcotest.test_case "closure from closed family" `Quick
+      test_from_closed_sets;
+    Alcotest.test_case "axiom violations detected" `Quick
+      test_kuratowski_violations;
+    Alcotest.test_case "lcl is topological (sampled)" `Quick
+      test_lcl_topological;
+    Alcotest.test_case "ncl is not topological (Section 4.2)" `Quick
+      test_ncl_not_topological;
+    Alcotest.test_case "fcl distributes on the witness" `Quick
+      test_fcl_is_topological_on_same_witness;
+    Alcotest.test_case "fcl distributes across pairs" `Slow
+      test_fcl_union_across_pairs ]

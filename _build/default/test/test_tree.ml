@@ -1,0 +1,279 @@
+module Ftree = Sl_tree.Ftree
+module Rtree = Sl_tree.Rtree
+module Ptree = Sl_tree.Ptree
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let ftree =
+  Alcotest.testable Ftree.pp Ftree.equal
+
+(* Handy small trees over {a=0, b=1}. *)
+let leaf_a = Ftree.singleton 0
+let leaf_b = Ftree.singleton 1
+let a_over_b = Ftree.of_children 0 [ leaf_b ]
+let a_over_ab = Ftree.of_children 0 [ leaf_a; leaf_b ]
+
+let test_make_validates () =
+  check "prefix closure" true
+    (try
+       ignore (Ftree.make [ ([ 0 ], 1) ]);
+       false
+     with Invalid_argument _ -> true);
+  check "conflicting labels" true
+    (try
+       ignore (Ftree.make [ ([], 0); ([], 1) ]);
+       false
+     with Invalid_argument _ -> true);
+  check "negative index" true
+    (try
+       ignore (Ftree.make [ ([], 0); ([ -1 ], 0) ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_basic_observations () =
+  check_int "size" 3 (Ftree.size a_over_ab);
+  check_int "depth" 1 (Ftree.depth a_over_ab);
+  Alcotest.(check (option int)) "label root" (Some 0)
+    (Ftree.label a_over_ab []);
+  Alcotest.(check (option int)) "label child" (Some 1)
+    (Ftree.label a_over_ab [ 1 ]);
+  Alcotest.(check (list (list int))) "leaves" [ [ 0 ]; [ 1 ] ]
+    (Ftree.leaves a_over_ab);
+  check "root not leaf" false (Ftree.is_leaf a_over_ab []);
+  check "k-branching" true (Ftree.is_k_branching_prefix a_over_ab 2);
+  check "not 2-branching" false (Ftree.is_k_branching_prefix a_over_b 2)
+
+let test_definition1_raw_concat () =
+  (* w ⋄ x keeps w's labels on the overlap and can graft at non-leaf
+     nodes — the behaviour Definition 3 then corrects. *)
+  let w = a_over_b in
+  let x = Ftree.of_children 1 [ leaf_a; leaf_a ] in
+  let d = Ftree.raw_concat w x in
+  Alcotest.(check (option int)) "w's root label wins" (Some 0)
+    (Ftree.label d []);
+  (* x grafted a second child at the root, which is NOT a leaf of w. *)
+  check "grafted at non-leaf" true (Ftree.mem d [ 1 ])
+
+let test_definition3_concat () =
+  let w = a_over_b in
+  let x = Ftree.of_children 1 [ leaf_a; leaf_a ] in
+  let c = Ftree.concat w x in
+  (* Only x-nodes inside w or extending w's leaf [0] survive; node [1] of
+     x extends the root (a non-leaf), so it is dropped. *)
+  check "no graft at non-leaf" false (Ftree.mem c [ 1 ]);
+  check "kept inside w" true (Ftree.mem c [ 0 ]);
+  (* Grafting below the leaf works. *)
+  let x2 = Ftree.make [ ([], 9); ([ 0 ], 9); ([ 0; 1 ], 0) ] in
+  let c2 = Ftree.concat w x2 in
+  check "extends leaf" true (Ftree.mem c2 [ 0; 1 ]);
+  Alcotest.(check (option int)) "w's labels win" (Some 0)
+    (Ftree.label c2 []);
+  (* Concatenation with the empty tree: ∅x = ∅ and w∅ = w. *)
+  Alcotest.check ftree "empty left" Ftree.empty
+    (Ftree.concat Ftree.empty x);
+  Alcotest.check ftree "empty right" w (Ftree.concat w Ftree.empty)
+
+let test_definition4_prefix () =
+  check "leaf <= tree" true (Ftree.prefix leaf_a a_over_ab);
+  check "label mismatch" false (Ftree.prefix leaf_b a_over_ab);
+  check "self prefix" true (Ftree.prefix a_over_ab a_over_ab);
+  check "not prefix (extends non-leaf)" false
+    (Ftree.prefix a_over_b a_over_ab);
+  (* a_over_b's node [0] is a leaf; a_over_ab adds [1] under the root,
+     which is NOT a leaf of a_over_b — so not a prefix, exactly the
+     paper's point about extending only at leaves. *)
+  check "deep extension is a prefix" true
+    (Ftree.prefix a_over_b
+       (Ftree.make [ ([], 0); ([ 0 ], 1); ([ 0; 0 ], 0) ]))
+
+let test_prefix_equals_exists_z () =
+  (* Definition 4 literally: x <= y iff some z gives xz = y. Brute-force z
+     over a small enumeration and compare with the direct test. *)
+  let universe = Ftree.enumerate ~alphabet:2 ~max_arity:2 ~max_depth:1 in
+  let zs = universe in
+  List.iter
+    (fun x ->
+      List.iter
+        (fun y ->
+          let direct = Ftree.prefix x y in
+          let witnessed =
+            List.exists (fun z -> Ftree.equal (Ftree.concat x z) y) zs
+          in
+          (* Over this depth-bounded universe every needed witness is
+             itself in the universe (z never needs to be deeper than
+             y). *)
+          if direct <> witnessed then
+            Alcotest.failf "prefix mismatch: direct %b, witnessed %b" direct
+              witnessed)
+        universe)
+    universe
+
+let test_prefix_partial_order () =
+  let universe = Ftree.enumerate ~alphabet:2 ~max_arity:2 ~max_depth:1 in
+  (* Reflexive, antisymmetric, transitive ([14]'s lemma). *)
+  List.iter (fun x -> check "refl" true (Ftree.prefix x x)) universe;
+  List.iter
+    (fun x ->
+      List.iter
+        (fun y ->
+          if Ftree.prefix x y && Ftree.prefix y x then
+            check "antisym" true (Ftree.equal x y);
+          List.iter
+            (fun z ->
+              if Ftree.prefix x y && Ftree.prefix y z then
+                check "trans" true (Ftree.prefix x z))
+            universe)
+        universe)
+    universe
+
+let test_concat_monotone () =
+  (* [14]: x <= y implies wx <= wy. *)
+  let universe = Ftree.enumerate ~alphabet:2 ~max_arity:2 ~max_depth:1 in
+  List.iter
+    (fun w ->
+      List.iter
+        (fun x ->
+          List.iter
+            (fun y ->
+              if Ftree.prefix x y then
+                check "monotone" true
+                  (Ftree.prefix (Ftree.concat w x) (Ftree.concat w y)))
+            universe)
+        universe)
+    (List.filteri (fun i _ -> i < 12) universe)
+
+let test_subtree () =
+  match Ftree.subtree a_over_ab [ 1 ] with
+  | None -> Alcotest.fail "subtree exists"
+  | Some t -> Alcotest.check ftree "re-rooted" leaf_b t
+
+(* --- Regular trees --- *)
+
+let const_a = Rtree.constant ~k:2 0
+
+let ab_tree =
+  (* Root a; left child all-a, right child all-b. *)
+  Rtree.make ~k:2 ~nstates:2 ~root:0 ~label:[| 0; 1 |]
+    ~children:[| [| 0; 1 |]; [| 1; 1 |] |]
+
+let test_rtree_unfold () =
+  let u = Rtree.unfold const_a ~depth:2 in
+  check_int "nodes of full binary depth 2" 7 (Ftree.size u);
+  check "k-branching prefix" true (Ftree.is_k_branching_prefix u 2);
+  Alcotest.(check (option int)) "all a" (Some 0) (Ftree.label u [ 1; 0 ]);
+  let u2 = Rtree.unfold ab_tree ~depth:2 in
+  Alcotest.(check (option int)) "right subtree b" (Some 1)
+    (Ftree.label u2 [ 1; 0 ])
+
+let test_rtree_node_state () =
+  Alcotest.(check (option int)) "path to b" (Some 1)
+    (Rtree.node_state ab_tree [ 1; 0 ]);
+  Alcotest.(check (option int)) "bad index" None
+    (Rtree.node_state ab_tree [ 2 ])
+
+let test_rtree_enumerate () =
+  let ts = Rtree.enumerate ~alphabet:2 ~k:2 ~max_states:1 in
+  (* One state: 2 labels x 1 child assignment. *)
+  check_int "single-state count" 2 (List.length ts);
+  let ts2 = Rtree.enumerate ~alphabet:2 ~k:2 ~max_states:2 in
+  check "includes constants" true
+    (List.exists (fun t -> Rtree.equal_presentation t const_a) ts2)
+
+(* --- Partial trees --- *)
+
+let test_ptree_holes_and_totality () =
+  let p = Ptree.of_rtree const_a in
+  check "no hole" false (Ptree.has_hole p);
+  check "total" true (Ptree.is_total p);
+  let cut = Ptree.truncation (Ptree.of_rtree const_a) ~depth:1 in
+  check "truncation has holes" true (Ptree.has_hole cut);
+  check "truncation not total" false (Ptree.is_total cut);
+  (* A unary spine is total despite having absent slots, and absent
+     slots next to present ones are not holes. *)
+  let spine =
+    Ptree.make ~k:2 ~nstates:1 ~root:0 ~label:[| 0 |]
+      ~children:[| [| Some 0; None |] |]
+  in
+  check "unary spine total" true (Ptree.is_total spine);
+  check "unary spine has no hole" false (Ptree.has_hole spine)
+
+let test_ptree_truncation_matches_unfold () =
+  List.iter
+    (fun d ->
+      let t = Ptree.truncation (Ptree.of_rtree ab_tree) ~depth:d in
+      Alcotest.check ftree
+        (Printf.sprintf "depth %d" d)
+        (Rtree.unfold ab_tree ~depth:d)
+        (Ptree.unfold t ~depth:(d + 3)))
+    [ 0; 1; 2; 3 ]
+
+let test_ptree_cycles () =
+  let p = Ptree.of_rtree ab_tree in
+  let is_a q = p.Ptree.label.(q) = 0 in
+  check "all-a cycle (left spine)" true (Ptree.has_cycle_within p ~keep:is_a);
+  check "cycle through a" true (Ptree.has_reachable_cycle_through p ~pred:is_a);
+  check "cycle inside b" true
+    (Ptree.has_reachable_cycle_inside p ~pred:(fun q -> not (is_a q)));
+  (* Cutting below the root removes everything: depth 1 has exactly one
+     variant, the bare root. *)
+  let variants = Ptree.cut_variants (Ptree.of_rtree ab_tree) ~depth:1 in
+  check_int "one variant at depth 1" 1 (List.length variants);
+  check "root variant kills the a-cycle" true
+    (List.for_all
+       (fun v ->
+         not
+           (Ptree.has_cycle_within v ~keep:(fun q -> v.Ptree.label.(q) = 0)))
+       variants);
+  (* At depth 2 one variant cuts the right (b) child and keeps the all-a
+     left spine. *)
+  let v2 = Ptree.cut_variants (Ptree.of_rtree ab_tree) ~depth:2 in
+  check "some depth-2 variant keeps the a-cycle" true
+    (List.exists
+       (fun v -> Ptree.has_cycle_within v ~keep:(fun q -> v.Ptree.label.(q) = 0))
+       v2)
+
+let test_ptree_cut_variants_preserve_rest () =
+  (* Each variant is non-total and its unfolding is a prefix of the
+     original tree's unfolding. *)
+  List.iter
+    (fun v ->
+      check "variant non-total" false (Ptree.is_total v);
+      check "variant unfold is prefix" true
+        (Ftree.prefix (Ptree.unfold v ~depth:3)
+           (Rtree.unfold ab_tree ~depth:3)))
+    (Ptree.cut_variants (Ptree.of_rtree ab_tree) ~depth:2)
+
+let test_enumerate_total () =
+  let ts = Ptree.enumerate_total ~alphabet:2 ~k:2 ~max_states:1 in
+  (* One state: 2 labels x 3 nonempty child patterns (left/right/both). *)
+  check_int "unary+binary singles" 6 (List.length ts);
+  check "all total" true (List.for_all Ptree.is_total ts)
+
+let tests =
+  [ Alcotest.test_case "ftree validation" `Quick test_make_validates;
+    Alcotest.test_case "ftree observations" `Quick test_basic_observations;
+    Alcotest.test_case "Definition 1 (raw concat)" `Quick
+      test_definition1_raw_concat;
+    Alcotest.test_case "Definition 3 (concat)" `Quick
+      test_definition3_concat;
+    Alcotest.test_case "Definition 4 (prefix)" `Quick
+      test_definition4_prefix;
+    Alcotest.test_case "prefix = exists z (brute force)" `Slow
+      test_prefix_equals_exists_z;
+    Alcotest.test_case "prefix partial order" `Slow
+      test_prefix_partial_order;
+    Alcotest.test_case "concat monotone in prefix" `Slow
+      test_concat_monotone;
+    Alcotest.test_case "subtrees" `Quick test_subtree;
+    Alcotest.test_case "rtree unfolding" `Quick test_rtree_unfold;
+    Alcotest.test_case "rtree node lookup" `Quick test_rtree_node_state;
+    Alcotest.test_case "rtree enumeration" `Quick test_rtree_enumerate;
+    Alcotest.test_case "ptree holes/totality" `Quick
+      test_ptree_holes_and_totality;
+    Alcotest.test_case "truncation matches unfold" `Quick
+      test_ptree_truncation_matches_unfold;
+    Alcotest.test_case "ptree cycle analysis" `Quick test_ptree_cycles;
+    Alcotest.test_case "cut variants" `Quick
+      test_ptree_cut_variants_preserve_rest;
+    Alcotest.test_case "total enumeration" `Quick test_enumerate_total ]
