@@ -4,6 +4,7 @@
      dune exec bench/main.exe              # all artifacts + all timings
      dune exec bench/main.exe ARTIFACT     # one artifact, no timings
      dune exec bench/main.exe bench        # timings only
+     dune exec bench/main.exe bench json   # timings -> BENCH_PR1.json
 
    Artifacts (the paper's figures/tables, regenerated from scratch; see
    EXPERIMENTS.md for the mapping): fig1 fig2 rem ctl rabin
@@ -13,7 +14,12 @@
    paper itself contains no performance numbers, so these series document
    the cost of each reproduction algorithm (closure, decomposition,
    complementation, translation, model checking) and of the two ablations
-   called out in DESIGN.md §5. *)
+   called out in DESIGN.md §5.
+
+   [bench json] additionally writes the estimates to BENCH_PR1.json
+   together with automaton-size counters and speedups against the seed:
+   this is the perf trajectory future PRs regress against (see DESIGN.md
+   "Performance architecture"). *)
 
 module Lattice = Sl_lattice.Lattice
 module Named = Sl_lattice.Named
@@ -155,6 +161,30 @@ let random_automaton n =
     ~accepting_fraction:0.3 ()
 
 let big_formula = Formula.parse_exn "G (a -> X (!a U (a & X !a)))"
+
+(* PERF-KERNEL microbench inputs (shared with the JSON counters below).
+   The dense NFA is sized so the subset construction visits hundreds of
+   subset states — enough for the seed's quadratic frontier bookkeeping to
+   show. The lockstep pair models two components driven by a shared clock
+   (each a deterministic 48-state cycle): only the diagonal of the
+   [na*nb*2] product space is reachable, which is exactly what the
+   on-the-fly product exploits. Random sparse pairs do not exhibit this —
+   reachability percolates and the full product is the honest baseline. *)
+let dense_nfa =
+  let b =
+    Buchi.random ~seed:7 ~alphabet:2 ~nstates:14 ~density:0.12
+      ~accepting_fraction:0.3 ()
+  in
+  Sl_nfa.Nfa.make ~alphabet:2 ~nstates:b.Buchi.nstates ~starts:[ 0 ]
+    ~delta:b.Buchi.delta ~accepting:b.Buchi.accepting
+
+let lockstep_pair =
+  let cycle n =
+    Buchi.make ~alphabet:2 ~nstates:n ~start:0
+      ~delta:(Array.init n (fun i -> Array.make 2 [ (i + 1) mod n ]))
+      ~accepting:(Array.init n (fun i -> i = 0))
+  in
+  (cycle 48, cycle 48)
 
 let make_tests () =
   let t name f = Test.make ~name (Staged.stage f) in
@@ -305,6 +335,18 @@ let make_tests () =
       [ t "acceptance/rabin-to-buchi" (fun () ->
             Sl_buchi.Acceptance.rabin_to_buchi
               (Sl_buchi.Acceptance.of_buchi (random_automaton 8))) ];
+      (* PERF-KERNEL: optimized hot paths vs the retained seed
+         references (same inputs, so the pairs are directly
+         comparable). *)
+      [ t "nfa/determinize-dense" (fun () -> Sl_nfa.Nfa.determinize dense_nfa);
+        t "nfa/determinize-dense-seedref" (fun () ->
+            Sl_nfa.Nfa.determinize_ref dense_nfa) ];
+      [ t "ops/intersect-reachable" (fun () ->
+            Ops.intersect (fst lockstep_pair) (snd lockstep_pair));
+        t "ops/intersect-full-seedref" (fun () ->
+            Ops.intersect_full (fst lockstep_pair) (snd lockstep_pair)) ];
+      [ t "buchi/rank-complement-3-seedref" (fun () ->
+            Complement.rank_based_ref (random_automaton 3)) ];
       (* Structural hierarchy classification. *)
       [ t "hierarchy/classify-128" (fun () ->
             Sl_buchi.Hierarchy.classify_structural (random_automaton 128)) ];
@@ -315,8 +357,7 @@ let make_tests () =
             Sl_lattice.Birkhoff.check_representation (fst (Named.divisor 30)))
       ] ]
 
-let run_benchmarks () =
-  section "Timings (Bechamel; ns per run, OLS on monotonic clock)";
+let bench_estimates () =
   let tests = make_tests () in
   let instance = Instance.monotonic_clock in
   let cfg =
@@ -325,20 +366,154 @@ let run_benchmarks () =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
-  List.iter
+  List.concat_map
     (fun test ->
       let results = Benchmark.all cfg [ instance ] test in
       let analyzed = Analyze.all ols instance results in
-      Hashtbl.iter
-        (fun name ols_result ->
+      Hashtbl.fold
+        (fun name ols_result acc ->
           let estimate =
             match Analyze.OLS.estimates ols_result with
-            | Some (x :: _) -> Printf.sprintf "%12.1f ns/run" x
-            | _ -> "            n/a"
+            | Some (x :: _) -> Some x
+            | _ -> None
           in
-          Format.printf "%-34s %s@." name estimate)
-        analyzed)
+          (name, estimate) :: acc)
+        analyzed [])
     tests
+
+let run_benchmarks () =
+  section "Timings (Bechamel; ns per run, OLS on monotonic clock)";
+  List.iter
+    (fun (name, estimate) ->
+      let estimate =
+        match estimate with
+        | Some x -> Printf.sprintf "%12.1f ns/run" x
+        | None -> "            n/a"
+      in
+      Format.printf "%-34s %s@." name estimate)
+    (bench_estimates ())
+
+(* ------------------------------------------------------------------ *)
+(* JSON perf trajectory                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Seed timings of the benches this PR optimizes, measured at the seed
+   commit (e31e302) on the CI container with the same Bechamel
+   configuration. They anchor the speedup entries of BENCH_PR1.json for
+   benches whose seed implementation no longer exists under its original
+   name; the *-seedref benches re-measure the retained reference
+   implementations live on every run. *)
+let seed_baselines =
+  [ ("hierarchy/classify-128", 1_605_277.9);
+    ("acceptance/rabin-to-buchi", 3_731.5);
+    ("buchi/bcl/128", 1_166_310.9);
+    ("buchi/decompose/128", 3_372_902.3);
+    ("buchi/rank-complement-3", 2_657.4);
+    ("buchi/safety-complement/32", 174_874.4) ]
+
+(* Pairs (optimized bench, live seed-reference bench): the baseline is
+   re-measured in the same run, on the same machine and inputs. *)
+let seedref_pairs =
+  [ ("nfa/determinize-dense", "nfa/determinize-dense-seedref");
+    ("ops/intersect-reachable", "ops/intersect-full-seedref");
+    ("buchi/rank-complement-3", "buchi/rank-complement-3-seedref") ]
+
+(* Automaton-size counters for the microbench inputs: they document what
+   the timings mean (how many states each construction materializes) and
+   guard against silently benchmarking trivial inputs. *)
+let bench_counters () =
+  let dfa = Sl_nfa.Nfa.determinize dense_nfa in
+  let a, b = lockstep_pair in
+  let product = Ops.intersect a b in
+  let full = Ops.intersect_full a b in
+  [ ("nfa/determinize-dense/nfa-states", dense_nfa.Sl_nfa.Nfa.nstates);
+    ("nfa/determinize-dense/dfa-states", dfa.Sl_nfa.Dfa.nstates);
+    ("ops/intersect-reachable/product-states-allocated",
+     product.Buchi.nstates);
+    ("ops/intersect-full/product-states-allocated", full.Buchi.nstates);
+    ("hierarchy/classify-128/states", (random_automaton 128).Buchi.nstates);
+    ("buchi/rank-complement-3/complement-states",
+     (Complement.rank_based (random_automaton 3)).Buchi.nstates) ]
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let run_benchmarks_json ~path =
+  (* Open the output first: an unwritable path should fail before the
+     multi-minute measurement run, not after it. *)
+  let oc = open_out path in
+  let estimates = bench_estimates () in
+  let counters = bench_counters () in
+  let lookup name =
+    match List.assoc_opt name estimates with Some (Some x) -> Some x | _ -> None
+  in
+  let speedups =
+    List.filter_map
+      (fun (name, ns) ->
+        match ns with
+        | None -> None
+        | Some ns ->
+            let baseline =
+              match List.assoc_opt name seedref_pairs with
+              | Some ref_name -> (
+                  match lookup ref_name with
+                  | Some b -> Some (b, "seedref-bench:" ^ ref_name)
+                  | None -> None)
+              | None -> (
+                  match List.assoc_opt name seed_baselines with
+                  | Some b -> Some (b, "seed-commit-timing")
+                  | None -> None)
+            in
+            Option.map
+              (fun (b, source) -> (name, ns, b, source, b /. ns))
+              baseline)
+      estimates
+  in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"schema\": \"sl-bench-trajectory/1\",\n";
+  p "  \"pr\": \"PR1\",\n";
+  p "  \"config\": {\"quota_s\": 0.25, \"limit\": 1000, \"estimator\": \"ols\"},\n";
+  p "  \"results\": [\n";
+  let sorted = List.sort (fun (a, _) (b, _) -> compare a b) estimates in
+  List.iteri
+    (fun i (name, est) ->
+      p "    {\"name\": \"%s\", \"ns_per_run\": %s}%s\n" (json_escape name)
+        (match est with Some x -> Printf.sprintf "%.1f" x | None -> "null")
+        (if i = List.length sorted - 1 then "" else ","))
+    sorted;
+  p "  ],\n";
+  p "  \"counters\": [\n";
+  List.iteri
+    (fun i (name, v) ->
+      p "    {\"name\": \"%s\", \"value\": %d}%s\n" (json_escape name) v
+        (if i = List.length counters - 1 then "" else ","))
+    counters;
+  p "  ],\n";
+  p "  \"speedups_vs_seed\": [\n";
+  List.iteri
+    (fun i (name, ns, base, source, speedup) ->
+      p
+        "    {\"name\": \"%s\", \"ns_per_run\": %.1f, \"seed_ns_per_run\": \
+         %.1f, \"baseline_source\": \"%s\", \"speedup\": %.2f}%s\n"
+        (json_escape name) ns base (json_escape source) speedup
+        (if i = List.length speedups - 1 then "" else ","))
+    speedups;
+  p "  ]\n";
+  p "}\n";
+  close_out oc;
+  Format.printf "wrote %s (%d results, %d counters, %d speedups)@." path
+    (List.length estimates) (List.length counters) (List.length speedups)
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
@@ -347,13 +522,16 @@ let () =
       List.iter (fun (_, f) -> f ()) artifacts;
       run_benchmarks ()
   | [ "bench" ] -> run_benchmarks ()
+  | [ "bench"; "json" ] -> run_benchmarks_json ~path:"BENCH_PR1.json"
+  | [ "bench"; "json"; path ] -> run_benchmarks_json ~path
   | names ->
       List.iter
         (fun name ->
           match List.assoc_opt name artifacts with
           | Some f -> f ()
           | None ->
-              Format.eprintf "unknown artifact %s (available: %s, bench)@."
+              Format.eprintf
+                "unknown artifact %s (available: %s, bench, bench json)@."
                 name
                 (String.concat ", " (List.map fst artifacts));
               exit 1)

@@ -41,9 +41,11 @@ let make ~alphabet ~nstates ~start ~delta ~condition =
   { alphabet; nstates; start; delta; condition }
 
 let of_buchi (b : Buchi.t) =
-  make ~alphabet:b.alphabet ~nstates:b.nstates ~start:b.start ~delta:b.delta
-    ~condition:
-      (Rabin [ (Array.copy b.accepting, Array.make b.nstates false) ])
+  (* [b] was validated by [Buchi.make]; no need to re-check its shape. *)
+  { alphabet = b.alphabet; nstates = b.nstates; start = b.start;
+    delta = b.delta;
+    condition = Rabin [ (Array.copy b.accepting, Array.make b.nstates false) ]
+  }
 
 (* --- The automaton × lasso product as an explicit graph. --- *)
 
@@ -113,7 +115,7 @@ let sccs_within pr keep =
       let ms = !members in
       let nontrivial =
         match ms with
-        | [ single ] -> List.mem single (succs single)
+        | [ single ] -> List.exists (Int.equal single) (succs single)
         | _ -> List.length ms > 1
       in
       if nontrivial then comps := ms :: !comps
@@ -232,7 +234,9 @@ let rabin_pair_to_buchi a (green, red) =
   let accepting =
     Array.init nstates (fun v -> v >= n && green.(v - n))
   in
-  Buchi.make ~alphabet:a.alphabet ~nstates ~start:a.start ~delta ~accepting
+  (* Successors are copies of in-range states of a validated automaton;
+     skip the [Buchi.make] re-validation pass. *)
+  { Buchi.alphabet = a.alphabet; nstates; start = a.start; delta; accepting }
 
 let rabin_to_buchi a =
   match a.condition with

@@ -50,22 +50,24 @@ let universal ~alphabet =
     ~delta:(Array.init 1 (fun _ -> Array.make alphabet [ 0 ]))
     ~accepting:[| true |]
 
-let successors_all b q =
-  Array.fold_left (fun acc l -> List.rev_append l acc) [] b.delta.(q)
-  |> List.sort_uniq compare
+(* The graph routines below iterate the transition table directly: the
+   seed funnelled every edge scan through a sorted-deduplicated successor
+   list per state, which dominated the structural-classification profile.
+   Duplicate edges are harmless to DFS, Tarjan and BFS. *)
 
 let reachable b =
   let seen = Array.make b.nstates false in
   let rec visit q =
     if not seen.(q) then begin
       seen.(q) <- true;
-      List.iter visit (successors_all b q)
+      Array.iter (List.iter visit) b.delta.(q)
     end
   in
   visit b.start;
   seen
 
-(* Iterative Tarjan SCC. *)
+let has_self_loop b q = Array.exists (List.exists (Int.equal q)) b.delta.(q)
+
 let sccs b =
   let n = b.nstates in
   let index = Array.make n (-1) in
@@ -82,14 +84,14 @@ let sccs b =
     incr counter;
     stack := v :: !stack;
     on_stack.(v) <- true;
-    List.iter
-      (fun w ->
-        if index.(w) = -1 then begin
-          strongconnect w;
-          lowlink.(v) <- min lowlink.(v) lowlink.(w)
-        end
-        else if on_stack.(w) then lowlink.(v) <- min lowlink.(v) index.(w))
-      (successors_all b v);
+    Array.iter
+      (List.iter (fun w ->
+           if index.(w) = -1 then begin
+             strongconnect w;
+             lowlink.(v) <- min lowlink.(v) lowlink.(w)
+           end
+           else if on_stack.(w) then lowlink.(v) <- min lowlink.(v) index.(w)))
+      b.delta.(v);
     if lowlink.(v) = index.(v) then begin
       let members = ref [] in
       let continue_ = ref true in
@@ -115,29 +117,31 @@ let sccs b =
 let on_cycle b =
   let comp, comps = sccs b in
   let comp_size = Array.make (List.length comps) 0 in
-  List.iteri (fun _ members ->
-      List.iter (fun q -> comp_size.(comp.(q)) <- comp_size.(comp.(q)) + 1)
-        members)
-    comps;
-  Array.init b.nstates (fun q ->
-      comp_size.(comp.(q)) > 1 || List.mem q (successors_all b q))
+  Array.iter (fun c -> comp_size.(c) <- comp_size.(c) + 1) comp;
+  Array.init b.nstates (fun q -> comp_size.(comp.(q)) > 1 || has_self_loop b q)
 
 let live_states b =
   let cyc = on_cycle b in
-  (* Live: can reach an accepting state on a cycle. Backwards fixpoint. *)
+  (* Live: can reach an accepting state on a cycle. Backwards BFS over the
+     reversed edges — O(states + transitions), where the seed re-scanned
+     every state's successors until stable. *)
   let live = Array.init b.nstates (fun q -> b.accepting.(q) && cyc.(q)) in
-  let changed = ref true in
-  while !changed do
-    changed := false;
-    for q = 0 to b.nstates - 1 do
-      if
-        (not live.(q))
-        && List.exists (fun q' -> live.(q')) (successors_all b q)
-      then begin
-        live.(q) <- true;
-        changed := true
-      end
-    done
+  let preds = Array.make b.nstates [] in
+  Array.iteri
+    (fun q row ->
+      Array.iter (List.iter (fun q' -> preds.(q') <- q :: preds.(q'))) row)
+    b.delta;
+  let queue = Queue.create () in
+  Array.iteri (fun q l -> if l then Queue.push q queue) live;
+  while not (Queue.is_empty queue) do
+    let q = Queue.pop queue in
+    List.iter
+      (fun p ->
+        if not live.(p) then begin
+          live.(p) <- true;
+          Queue.push p queue
+        end)
+      preds.(q)
   done;
   live
 
@@ -299,7 +303,7 @@ let accepts_lasso b w =
       let ms = !members in
       let nontrivial =
         match ms with
-        | [ single ] -> List.mem single succs.(single)
+        | [ single ] -> List.exists (Int.equal single) succs.(single)
         | _ -> List.length ms > 1
       in
       if nontrivial && List.exists (fun v' -> b.accepting.(v' / total)) ms
@@ -343,11 +347,18 @@ let pp fmt b =
 let random ?(seed = 42) ~alphabet ~nstates ~density ~accepting_fraction () =
   let st = Random.State.make [| seed |] in
   let delta =
+    (* Draw order matches the seed's [List.filter]-over-[List.init] cell
+       generator, so seeded automata are unchanged; the direct loop just
+       skips the intermediate candidate list. *)
     Array.init nstates (fun _ ->
         Array.init alphabet (fun _ ->
-            List.filter
-              (fun _ -> Random.State.float st 1.0 < density)
-              (List.init nstates Fun.id)))
+            let rec draw q' acc =
+              if q' >= nstates then List.rev acc
+              else if Random.State.float st 1.0 < density then
+                draw (q' + 1) (q' :: acc)
+              else draw (q' + 1) acc
+            in
+            draw 0 []))
   in
   let accepting =
     Array.init nstates (fun _ ->

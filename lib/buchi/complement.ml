@@ -28,41 +28,37 @@ module Ranking = struct
   type t = { g : int array; o : int list }
 
   let compare = Stdlib.compare
+  let equal a b = a.g = b.g && a.o = b.o
+
+  (* Whole-structure FNV-style mix: [Hashtbl.hash] truncates after a
+     bounded number of nodes, which collapses large rankings into
+     collision chains. *)
+  let hash { g; o } =
+    let h = ref 0x811c9dc5 in
+    Array.iter (fun r -> h := (!h lxor (r + 2)) * 0x01000193) g;
+    List.iter (fun q -> h := (!h lxor (q * 31)) * 0x01000193) o;
+    !h land max_int
 end
 
-let rank_based ?(max_states = 200_000) (b : Buchi.t) =
-  let n = b.nstates in
+module Rtable = Hashtbl.Make (Ranking)
+
+let max_rank_of (b : Buchi.t) =
   let reach = Buchi.reachable b in
   let reachable_non_accepting = ref 0 in
   Array.iteri
     (fun q r -> if r && not b.accepting.(q) then incr reachable_non_accepting)
     reach;
-  let max_rank = max 2 (2 * !reachable_non_accepting) in
-  let module S = Map.Make (Ranking) in
-  let interned = ref S.empty in
-  let states = ref [] in
-  let count = ref 0 in
-  let intern st =
-    match S.find_opt st !interned with
-    | Some i -> i
-    | None ->
-        let i = !count in
-        if i >= max_states then
-          raise
-            (Too_large
-               (Printf.sprintf "rank-based complement exceeds %d states"
-                  max_states));
-        incr count;
-        interned := S.add st i !interned;
-        states := st :: !states;
-        i
-  in
-  let initial =
-    let g = Array.make n (-1) in
-    g.(b.start) <- max_rank;
-    { Ranking.g; o = [] }
-  in
-  let successors (st : Ranking.t) s =
+  max 2 (2 * !reachable_non_accepting)
+
+let initial_ranking (b : Buchi.t) ~max_rank =
+  let g = Array.make b.nstates (-1) in
+  g.(b.start) <- max_rank;
+  { Ranking.g; o = [] }
+
+(* Legal ranking successors of [st] on symbol [s]; shared by the
+   hash-interned construction and the seed reference below. *)
+let ranking_successors (b : Buchi.t) (st : Ranking.t) s =
+    let n = b.nstates in
     let dom = ref [] in
     Array.iteri (fun q r -> if r >= 0 then dom := q :: !dom) st.g;
     let dom = !dom in
@@ -106,8 +102,93 @@ let rank_based ?(max_states = 200_000) (b : Buchi.t) =
         in
         { Ranking.g = g'; o = o' })
       rankings
+
+(* Hash-interned construction: ranking states get dense ids through an
+   [Rtable] (constant-time amortized lookup with a whole-structure hash)
+   where the seed threaded every lookup through a [Map.Make] balanced tree
+   keyed by [Stdlib.compare]. Breadth-first, so state numbering matches
+   the seed reference exactly. *)
+let rank_based ?(max_states = 200_000) (b : Buchi.t) =
+  let max_rank = max_rank_of b in
+  let interned = Rtable.create 256 in
+  let states = ref [] in
+  let count = ref 0 in
+  let intern st =
+    match Rtable.find_opt interned st with
+    | Some i -> i
+    | None ->
+        let i = !count in
+        if i >= max_states then
+          raise
+            (Too_large
+               (Printf.sprintf "rank-based complement exceeds %d states"
+                  max_states));
+        incr count;
+        Rtable.add interned st i;
+        states := st :: !states;
+        i
   in
+  let initial = initial_ranking b ~max_rank in
   (* Breadth-first construction. *)
+  let transitions = Hashtbl.create 256 in
+  let queue = Queue.create () in
+  let start = intern initial in
+  Queue.push initial queue;
+  while not (Queue.is_empty queue) do
+    let st = Queue.pop queue in
+    let i = Rtable.find interned st in
+    if not (Hashtbl.mem transitions i) then begin
+      let row =
+        Array.init b.alphabet (fun s ->
+            List.map
+              (fun st' ->
+                let fresh = not (Rtable.mem interned st') in
+                let j = intern st' in
+                if fresh then Queue.push st' queue;
+                j)
+              (ranking_successors b st s)
+            |> List.sort_uniq Stdlib.compare)
+      in
+      Hashtbl.replace transitions i row
+    end
+  done;
+  let nstates = !count in
+  let all_states = Array.make nstates initial in
+  List.iter (fun st -> all_states.(Rtable.find interned st) <- st) !states;
+  let delta =
+    Array.init nstates (fun i ->
+        match Hashtbl.find_opt transitions i with
+        | Some row -> row
+        | None -> Array.make b.alphabet [])
+  in
+  let accepting = Array.init nstates (fun i -> all_states.(i).Ranking.o = []) in
+  Buchi.make ~alphabet:b.alphabet ~nstates ~start ~delta ~accepting
+
+(* The seed's Map-interned construction, kept as the reference
+   implementation for property tests and bench baselines. Identical
+   exploration order, so it produces the same automaton as {!rank_based}. *)
+let rank_based_ref ?(max_states = 200_000) (b : Buchi.t) =
+  let max_rank = max_rank_of b in
+  let module S = Map.Make (Ranking) in
+  let interned = ref S.empty in
+  let states = ref [] in
+  let count = ref 0 in
+  let intern st =
+    match S.find_opt st !interned with
+    | Some i -> i
+    | None ->
+        let i = !count in
+        if i >= max_states then
+          raise
+            (Too_large
+               (Printf.sprintf "rank-based complement exceeds %d states"
+                  max_states));
+        incr count;
+        interned := S.add st i !interned;
+        states := st :: !states;
+        i
+  in
+  let initial = initial_ranking b ~max_rank in
   let transitions = Hashtbl.create 256 in
   let queue = Queue.create () in
   let start = intern initial in
@@ -124,7 +205,7 @@ let rank_based ?(max_states = 200_000) (b : Buchi.t) =
                 let j = intern st' in
                 if fresh then Queue.push st' queue;
                 j)
-              (successors st s)
+              (ranking_successors b st s)
             |> List.sort_uniq Stdlib.compare)
       in
       Hashtbl.replace transitions i row
@@ -132,9 +213,7 @@ let rank_based ?(max_states = 200_000) (b : Buchi.t) =
   done;
   let nstates = !count in
   let all_states = Array.make nstates initial in
-  List.iter
-    (fun st -> all_states.(S.find st !interned) <- st)
-    !states;
+  List.iter (fun st -> all_states.(S.find st !interned) <- st) !states;
   let delta =
     Array.init nstates (fun i ->
         match Hashtbl.find_opt transitions i with

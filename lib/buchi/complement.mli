@@ -30,5 +30,12 @@ val complement_closed : Buchi.t -> Buchi.t
 val rank_based : ?max_states:int -> Buchi.t -> Buchi.t
 (** Full complementation; the result accepts exactly [Σ^ω \ L(B)].
     Rank bound [2 (n - |F ∩ reachable|) ] with the even-rank restriction on
-    accepting states. [max_states] (default [200_000]) bounds the explored
-    complement automaton. @raise Too_large when exceeded. *)
+    accepting states. Ranking states are interned through a hashtable with
+    a whole-structure hash. [max_states] (default [200_000]) bounds the
+    explored complement automaton. @raise Too_large when exceeded. *)
+
+val rank_based_ref : ?max_states:int -> Buchi.t -> Buchi.t
+(** The seed's [Map.Make]-interned construction, kept as the reference
+    implementation for property tests and bench baselines. Explores in the
+    same breadth-first order as {!rank_based} and produces the identical
+    automaton. *)

@@ -98,7 +98,7 @@ let good_scc ~nnodes ~succs ~start ~predicates =
       let ms = !members in
       let nontrivial =
         match ms with
-        | [ single ] -> List.mem single (succs single)
+        | [ single ] -> List.exists (Int.equal single) (succs single)
         | _ -> List.length ms > 1
       in
       if

@@ -60,8 +60,11 @@ let buchi_accepting b =
    successor positions, one per direction), the pathfinder picks the
    successor. Winning region of  νY. μX. [ Pre X ∪ (acc ∩ Pre Y) ]. *)
 let solve_buchi ~npos ~moves ~accepting =
+  (* Memoize the move lists: the fixpoint below re-queries every position
+     per sweep, and the seed rebuilt each move list on every [pre] call. *)
+  let moves = Array.init npos moves in
   let pre inside p =
-    List.exists (fun m -> List.for_all (fun s -> inside.(s)) m) (moves p)
+    List.exists (fun m -> List.for_all (fun s -> inside.(s)) m) moves.(p)
   in
   let y = Array.make npos true in
   let stable = ref false in
@@ -194,34 +197,37 @@ let accepts_buchi b t =
    peeling (the violating condition is a Streett condition). *)
 let run_graph_violates ~npos ~succ ~reachable ~state_of ~pairs =
   let sccs nodes =
-    (* Tarjan on the induced subgraph. *)
-    let index = Hashtbl.create 16 in
-    let lowlink = Hashtbl.create 16 in
-    let on_stack = Hashtbl.create 16 in
+    (* Array-indexed Tarjan on the induced subgraph; the seed kept
+       index/lowlink/on-stack in per-node hashtables. Self-loops are
+       recorded during the successor scan so singleton components need no
+       membership retest. *)
+    let index = Array.make npos (-1) in
+    let lowlink = Array.make npos 0 in
+    let on_stack = Array.make npos false in
+    let self_loop = Array.make npos false in
+    let in_nodes = Array.make npos false in
+    List.iter (fun v -> in_nodes.(v) <- true) nodes;
     let stack = ref [] in
     let counter = ref 0 in
     let comps = ref [] in
-    let in_nodes = Array.make npos false in
-    List.iter (fun v -> in_nodes.(v) <- true) nodes;
     let rec strongconnect v =
-      Hashtbl.replace index v !counter;
-      Hashtbl.replace lowlink v !counter;
+      index.(v) <- !counter;
+      lowlink.(v) <- !counter;
       incr counter;
       stack := v :: !stack;
-      Hashtbl.replace on_stack v true;
+      on_stack.(v) <- true;
       List.iter
         (fun w ->
-          if in_nodes.(w) then
-            if not (Hashtbl.mem index w) then begin
+          if in_nodes.(w) then begin
+            if w = v then self_loop.(v) <- true;
+            if index.(w) = -1 then begin
               strongconnect w;
-              Hashtbl.replace lowlink v
-                (min (Hashtbl.find lowlink v) (Hashtbl.find lowlink w))
+              lowlink.(v) <- min lowlink.(v) lowlink.(w)
             end
-            else if Hashtbl.find_opt on_stack w = Some true then
-              Hashtbl.replace lowlink v
-                (min (Hashtbl.find lowlink v) (Hashtbl.find index w)))
+            else if on_stack.(w) then lowlink.(v) <- min lowlink.(v) index.(w)
+          end)
         (succ v);
-      if Hashtbl.find lowlink v = Hashtbl.find index v then begin
+      if lowlink.(v) = index.(v) then begin
         let members = ref [] in
         let brk = ref false in
         while not !brk do
@@ -229,25 +235,24 @@ let run_graph_violates ~npos ~succ ~reachable ~state_of ~pairs =
           | [] -> brk := true
           | w :: rest ->
               stack := rest;
-              Hashtbl.replace on_stack w false;
+              on_stack.(w) <- false;
               members := w :: !members;
               if w = v then brk := true
         done;
         comps := !members :: !comps
       end
     in
-    List.iter (fun v -> if not (Hashtbl.mem index v) then strongconnect v)
-      nodes;
-    !comps
-  in
-  let nontrivial nodes = function
-    | [ v ] -> List.mem v (List.filter (fun w -> List.mem w nodes) (succ v))
-    | _ -> true
+    List.iter (fun v -> if index.(v) = -1 then strongconnect v) nodes;
+    (!comps, self_loop)
   in
   let rec violating nodes =
+    let comps, self_loop = sccs nodes in
     List.exists
       (fun comp ->
-        if not (nontrivial comp comp) then false
+        let nontrivial =
+          match comp with [ v ] -> self_loop.(v) | _ -> true
+        in
+        if not nontrivial then false
         else begin
           (* Pairs that could still be satisfied inside this component:
              green present, red absent. A violating walk must avoid their
@@ -274,7 +279,7 @@ let run_graph_violates ~npos ~succ ~reachable ~state_of ~pairs =
             else violating shrunk
           end
         end)
-      (sccs nodes)
+      comps
   in
   violating (List.filter (fun v -> reachable.(v)) (List.init npos Fun.id))
 

@@ -1,0 +1,8 @@
+#!/bin/sh
+# CI smoke: build + full test suite, then regenerate the benchmark
+# trajectory JSON (writes BENCH_PR1.json at the repo root). Run from the
+# repository root.
+set -eu
+
+dune build @runtest
+dune exec bench/main.exe -- bench json

@@ -3,6 +3,7 @@ let () =
     [ ("order", Test_order.tests);
       ("lattice", Test_lattice.tests);
       ("core", Test_core.tests);
+      ("bitset", Test_bitset.tests);
       ("word", Test_word.tests);
       ("nfa", Test_nfa.tests);
       ("buchi", Test_buchi.tests);
