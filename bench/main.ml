@@ -16,10 +16,11 @@
    complementation, translation, model checking) and of the two ablations
    called out in DESIGN.md §5.
 
-   [bench json] additionally writes the estimates to BENCH_PR1.json
-   together with automaton-size counters and speedups against the seed:
-   this is the perf trajectory future PRs regress against (see DESIGN.md
-   "Performance architecture"). *)
+   [bench json] additionally writes the estimates to BENCH_PR2.json
+   together with automaton-size counters, speedups against the seed, and
+   ratios against the tracked BENCH_PR1.json for every bench name the
+   two runs share: this is the perf trajectory future PRs regress
+   against (see DESIGN.md "Performance architecture"). *)
 
 module Lattice = Sl_lattice.Lattice
 module Named = Sl_lattice.Named
@@ -41,6 +42,8 @@ module Lexamples = Sl_ltl.Examples
 module Kripke = Sl_kripke.Kripke
 module Ctl = Sl_ctl.Ctl
 module Cexamples = Sl_ctl.Examples
+module Digraph = Sl_core.Digraph
+module Gnba = Sl_buchi.Gnba
 module Rabin = Sl_rabin.Rabin
 module Rclosure = Sl_rabin.Closure
 module Rdecompose = Sl_rabin.Decompose
@@ -355,7 +358,29 @@ let make_tests () =
             Sl_order.Poset.width (Lattice.poset (Named.partition 4)));
         t "lattice/birkhoff-div30" (fun () ->
             Sl_lattice.Birkhoff.check_representation (fst (Named.divisor 30)))
-      ] ]
+      ];
+      (* GRAPH-KERNEL: the shared CSR digraph kernel in isolation, on the
+         transition graph every layer now routes through. *)
+      (let b128 = random_automaton 128 in
+       let g128 = Buchi.graph b128 in
+       let scc128 = Digraph.sccs g128 in
+       let acc128 =
+         Array.init (Digraph.nodes g128) (fun q -> b128.Buchi.accepting.(q))
+       in
+       let gnba128 =
+         Gnba.make ~alphabet:2 ~nstates:b128.Buchi.nstates ~start:0
+           ~delta:b128.Buchi.delta
+           ~acceptance:
+             [ Array.copy b128.Buchi.accepting;
+               Array.init b128.Buchi.nstates (fun q -> q mod 3 = 0) ]
+       in
+       [ t "digraph/of-delta/128" (fun () -> Buchi.graph b128);
+         t "digraph/sccs/128" (fun () -> Digraph.sccs g128);
+         t "digraph/condense/128" (fun () -> Digraph.condense g128 scc128);
+         t "digraph/reverse-reach/128" (fun () ->
+             Digraph.reachable_from (Digraph.reverse g128) acc128);
+         t "buchi/live-states/128" (fun () -> Buchi.live_states b128);
+         t "gnba/is-empty/128" (fun () -> Gnba.is_empty gnba128) ]) ]
 
 let bench_estimates () =
   let tests = make_tests () in
@@ -397,12 +422,12 @@ let run_benchmarks () =
 (* JSON perf trajectory                                                *)
 (* ------------------------------------------------------------------ *)
 
-(* Seed timings of the benches this PR optimizes, measured at the seed
+(* Seed timings of the benches PR 1 optimized, measured at the seed
    commit (e31e302) on the CI container with the same Bechamel
-   configuration. They anchor the speedup entries of BENCH_PR1.json for
-   benches whose seed implementation no longer exists under its original
-   name; the *-seedref benches re-measure the retained reference
-   implementations live on every run. *)
+   configuration. They anchor the speedup entries of the trajectory file
+   for benches whose seed implementation no longer exists under its
+   original name; the *-seedref benches re-measure the retained
+   reference implementations live on every run. *)
 let seed_baselines =
   [ ("hierarchy/classify-128", 1_605_277.9);
     ("acceptance/rabin-to-buchi", 3_731.5);
@@ -434,6 +459,36 @@ let bench_counters () =
     ("hierarchy/classify-128/states", (random_automaton 128).Buchi.nstates);
     ("buchi/rank-complement-3/complement-states",
      (Complement.rank_based (random_automaton 3)).Buchi.nstates) ]
+
+(* The trajectory files are hand-rolled line-per-record JSON (written by
+   [run_benchmarks_json] below, in PR 1 and now); read a previous file's
+   "results" section back the same way, one line at a time, without
+   taking on a JSON dependency. Returns [None] when the file is absent
+   (e.g. running from a bare checkout). *)
+let read_prev_results path =
+  if not (Sys.file_exists path) then None
+  else begin
+    let ic = open_in path in
+    let acc = ref [] in
+    let in_results = ref false in
+    (try
+       while true do
+         let line = String.trim (input_line ic) in
+         if line = "\"results\": [" then in_results := true
+         else if !in_results && (line = "]," || line = "]") then
+           in_results := false
+         else if !in_results then
+           try
+             Scanf.sscanf line "{\"name\": %S, \"ns_per_run\": %f"
+               (fun name ns -> acc := (name, ns) :: !acc)
+           with Scanf.Scan_failure _ | Failure _ | End_of_file ->
+             (* null estimates and malformed lines carry no baseline *)
+             ()
+       done
+     with End_of_file -> ());
+    close_in ic;
+    Some (List.rev !acc)
+  end
 
 let json_escape s =
   let buf = Buffer.create (String.length s) in
@@ -479,10 +534,22 @@ let run_benchmarks_json ~path =
               baseline)
       estimates
   in
+  let prev = read_prev_results "BENCH_PR1.json" in
+  let vs_pr1 =
+    match prev with
+    | None -> []
+    | Some prev ->
+        List.filter_map
+          (fun (name, est) ->
+            match (est, List.assoc_opt name prev) with
+            | Some ns, Some base -> Some (name, ns, base, base /. ns)
+            | _ -> None)
+          estimates
+  in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
   p "  \"schema\": \"sl-bench-trajectory/1\",\n";
-  p "  \"pr\": \"PR1\",\n";
+  p "  \"pr\": \"PR2\",\n";
   p "  \"config\": {\"quota_s\": 0.25, \"limit\": 1000, \"estimator\": \"ols\"},\n";
   p "  \"results\": [\n";
   let sorted = List.sort (fun (a, _) (b, _) -> compare a b) estimates in
@@ -509,11 +576,23 @@ let run_benchmarks_json ~path =
         (json_escape name) ns base (json_escape source) speedup
         (if i = List.length speedups - 1 then "" else ","))
     speedups;
+  p "  ],\n";
+  p "  \"speedups_vs_pr1\": [\n";
+  List.iteri
+    (fun i (name, ns, base, ratio) ->
+      p
+        "    {\"name\": \"%s\", \"ns_per_run\": %.1f, \"pr1_ns_per_run\": \
+         %.1f, \"speedup\": %.2f}%s\n"
+        (json_escape name) ns base ratio
+        (if i = List.length vs_pr1 - 1 then "" else ","))
+    vs_pr1;
   p "  ]\n";
   p "}\n";
   close_out oc;
-  Format.printf "wrote %s (%d results, %d counters, %d speedups)@." path
-    (List.length estimates) (List.length counters) (List.length speedups)
+  Format.printf
+    "wrote %s (%d results, %d counters, %d speedups vs seed, %d vs PR1)@."
+    path (List.length estimates) (List.length counters)
+    (List.length speedups) (List.length vs_pr1)
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
@@ -522,7 +601,7 @@ let () =
       List.iter (fun (_, f) -> f ()) artifacts;
       run_benchmarks ()
   | [ "bench" ] -> run_benchmarks ()
-  | [ "bench"; "json" ] -> run_benchmarks_json ~path:"BENCH_PR1.json"
+  | [ "bench"; "json" ] -> run_benchmarks_json ~path:"BENCH_PR2.json"
   | [ "bench"; "json"; path ] -> run_benchmarks_json ~path
   | names ->
       List.iter

@@ -68,6 +68,41 @@ let decompose_cmd =
        ~doc:"Decompose an LTL property into safety and liveness automata")
     Term.(const run $ formula_arg)
 
+let stats_cmd =
+  let run s =
+    match parse_formula s with
+    | Error (`Msg m) -> prerr_endline m; 1
+    | Ok f ->
+        let b = Examples.automaton f in
+        let g = Buchi.graph b in
+        let r = Sl_core.Digraph.sccs g in
+        let nontrivial =
+          Array.fold_left
+            (fun acc nt -> if nt then acc + 1 else acc)
+            0 r.Sl_core.Digraph.nontrivial
+        in
+        let reach = Buchi.reachable b in
+        let live = Buchi.live_states b in
+        let count a = Array.fold_left (fun acc x ->
+            if x then acc + 1 else acc) 0 a in
+        Format.printf "property:        %s@." (Formula.to_string f);
+        Format.printf "states:          %d@." b.Buchi.nstates;
+        Format.printf "transitions:     %d@." (Sl_core.Digraph.nedges g);
+        Format.printf "reachable:       %d@." (count reach);
+        Format.printf "live:            %d@." (count live);
+        Format.printf "sccs:            %d (%d nontrivial)@."
+          r.Sl_core.Digraph.count nontrivial;
+        Format.printf "classification:  %s@."
+          (Decompose.classification_to_string (Decompose.classify b));
+        0
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Print transition-graph statistics (states, edges, SCCs) and the \
+          classification of an LTL property's automaton")
+    Term.(const run $ formula_arg)
+
 let rem_cmd =
   let run () =
     Examples.pp_table Format.std_formatter (Examples.table ());
@@ -266,5 +301,5 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ classify_cmd; decompose_cmd; rem_cmd; ctl_cmd; dot_cmd;
-            theorems_cmd; monitor_cmd; regex_cmd; modelcheck_cmd ]))
+          [ classify_cmd; decompose_cmd; stats_cmd; rem_cmd; ctl_cmd;
+            dot_cmd; theorems_cmd; monitor_cmd; regex_cmd; modelcheck_cmd ]))

@@ -1,4 +1,5 @@
 module Lasso = Sl_word.Lasso
+module Digraph = Sl_core.Digraph
 
 type condition =
   | Rabin of (bool array * bool array) list
@@ -47,11 +48,22 @@ let of_buchi (b : Buchi.t) =
     condition = Rabin [ (Array.copy b.accepting, Array.make b.nstates false) ]
   }
 
-(* --- The automaton × lasso product as an explicit graph. --- *)
+let graph a = Digraph.of_delta a.delta
+
+(* Compile-time witness: this module has the shared automaton shape. *)
+module _ : Sl_core.Automaton_sig.S with type t = t = struct
+  type nonrec t = t
+
+  let alphabet a = a.alphabet
+  let nstates a = a.nstates
+  let graph = graph
+end
+
+(* --- The automaton × lasso product as a kernel graph. --- *)
 
 type product = {
   nnodes : int;
-  succs : int -> int list;
+  graph : Digraph.t;
   node_state : int -> int;  (** automaton state of a product node *)
   reach : bool array;  (** reachable from (start, 0) *)
 }
@@ -61,70 +73,24 @@ let product a w =
   let total = sp + pe in
   let next p = if p + 1 < total then p + 1 else sp in
   let node q p = (q * total) + p in
-  let succs v =
-    let q = v / total and p = v mod total in
-    List.map (fun q' -> node q' (next p)) a.delta.(q).(Lasso.at w p)
-  in
   let nnodes = a.nstates * total in
-  let reach = Array.make nnodes false in
-  let rec visit v =
-    if not reach.(v) then begin
-      reach.(v) <- true;
-      List.iter visit (succs v)
-    end
+  let succs =
+    Array.init nnodes (fun v ->
+        let q = v / total and p = v mod total in
+        List.map (fun q' -> node q' (next p)) a.delta.(q).(Lasso.at w p))
   in
-  visit (node a.start 0);
-  { nnodes; succs; node_state = (fun v -> v / total); reach }
+  let graph = Digraph.of_successors succs in
+  let reach = Digraph.reachable graph [ node a.start 0 ] in
+  { nnodes; graph; node_state = (fun v -> v / total); reach }
 
 (* Reachable nontrivial SCCs of the product restricted to [keep]-nodes. *)
 let sccs_within pr keep =
-  let index = Array.make pr.nnodes (-1) in
-  let lowlink = Array.make pr.nnodes 0 in
-  let on_stack = Array.make pr.nnodes false in
-  let stack = ref [] in
-  let counter = ref 0 in
-  let comps = ref [] in
-  let ok v = pr.reach.(v) && keep v in
-  let succs v = List.filter ok (pr.succs v) in
-  let rec strongconnect v =
-    index.(v) <- !counter;
-    lowlink.(v) <- !counter;
-    incr counter;
-    stack := v :: !stack;
-    on_stack.(v) <- true;
-    List.iter
-      (fun w ->
-        if index.(w) = -1 then begin
-          strongconnect w;
-          lowlink.(v) <- min lowlink.(v) lowlink.(w)
-        end
-        else if on_stack.(w) then lowlink.(v) <- min lowlink.(v) index.(w))
-      (succs v);
-    if lowlink.(v) = index.(v) then begin
-      let members = ref [] in
-      let brk = ref false in
-      while not !brk do
-        match !stack with
-        | [] -> brk := true
-        | w :: rest ->
-            stack := rest;
-            on_stack.(w) <- false;
-            members := w :: !members;
-            if w = v then brk := true
-      done;
-      let ms = !members in
-      let nontrivial =
-        match ms with
-        | [ single ] -> List.exists (Int.equal single) (succs single)
-        | _ -> List.length ms > 1
-      in
-      if nontrivial then comps := ms :: !comps
-    end
-  in
-  for v = 0 to pr.nnodes - 1 do
-    if ok v && index.(v) = -1 then strongconnect v
-  done;
-  !comps
+  let r = Digraph.sccs ~filter:(fun v -> pr.reach.(v) && keep v) pr.graph in
+  List.filter
+    (function
+      | [] -> false
+      | hd :: _ -> r.Digraph.nontrivial.(r.Digraph.comp.(hd)))
+    r.Digraph.comps
 
 let projection pr nodes =
   List.sort_uniq compare (List.map pr.node_state nodes)

@@ -41,6 +41,9 @@ val make :
 val of_buchi : Buchi.t -> t
 (** As a one-pair Rabin automaton. *)
 
+val graph : t -> Sl_core.Digraph.t
+(** The symbol-labeled transition graph as a CSR kernel graph. *)
+
 val accepts_lasso : t -> Lasso.t -> bool
 
 val rabin_to_buchi : t -> Buchi.t

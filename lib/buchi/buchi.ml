@@ -1,4 +1,6 @@
 module Lasso = Sl_word.Lasso
+module Digraph = Sl_core.Digraph
+module Asig = Sl_core.Automaton_sig
 
 type t = {
   alphabet : int;
@@ -9,36 +11,20 @@ type t = {
 }
 
 let make ~alphabet ~nstates ~start ~delta ~accepting =
-  if alphabet < 1 then invalid_arg "Buchi.make: empty alphabet";
-  if nstates < 1 then invalid_arg "Buchi.make: need at least one state";
-  if start < 0 || start >= nstates then invalid_arg "Buchi.make: bad start";
-  if Array.length delta <> nstates || Array.length accepting <> nstates then
-    invalid_arg "Buchi.make: shape mismatch";
-  Array.iter
-    (fun row ->
-      if Array.length row <> alphabet then invalid_arg "Buchi.make: row shape";
-      Array.iter
-        (List.iter (fun q ->
-             if q < 0 || q >= nstates then
-               invalid_arg "Buchi.make: successor out of range"))
-        row)
-    delta;
+  let name = "Buchi.make" in
+  Asig.check_alphabet ~name alphabet;
+  Asig.check_nstates ~name nstates;
+  Asig.check_state ~name ~nstates start;
+  Asig.check_flags ~name ~nstates accepting;
+  Asig.check_delta ~name ~alphabet ~nstates delta;
   { alphabet; nstates; start; delta; accepting }
 
 let of_edges ~alphabet ~nstates ~start ~edges ~accepting =
-  let delta = Array.make_matrix nstates alphabet [] in
-  List.iter
-    (fun (q, s, q') ->
-      if q < 0 || q >= nstates || s < 0 || s >= alphabet then
-        invalid_arg "Buchi.of_edges: edge out of range";
-      delta.(q).(s) <- q' :: delta.(q).(s))
-    edges;
-  Array.iter
-    (fun row -> Array.iteri (fun s l -> row.(s) <- List.sort_uniq compare l) row)
-    delta;
-  let acc = Array.make nstates false in
-  List.iter (fun q -> acc.(q) <- true) accepting;
-  make ~alphabet ~nstates ~start ~delta ~accepting:acc
+  let delta =
+    Asig.delta_of_edges ~name:"Buchi.of_edges" ~alphabet ~nstates edges
+  in
+  make ~alphabet ~nstates ~start ~delta
+    ~accepting:(Asig.flags_of_list ~nstates accepting)
 
 let empty_language ~alphabet =
   make ~alphabet ~nstates:1 ~start:0
@@ -50,100 +36,33 @@ let universal ~alphabet =
     ~delta:(Array.init 1 (fun _ -> Array.make alphabet [ 0 ]))
     ~accepting:[| true |]
 
-(* The graph routines below iterate the transition table directly: the
-   seed funnelled every edge scan through a sorted-deduplicated successor
-   list per state, which dominated the structural-classification profile.
-   Duplicate edges are harmless to DFS, Tarjan and BFS. *)
+(* All graph analyses run on the shared CSR kernel: one packed
+   [Digraph.t] per analysis, built straight from the transition table
+   (duplicates and successor order preserved, so traversal results are
+   identical to the historical list-walking code). *)
 
-let reachable b =
-  let seen = Array.make b.nstates false in
-  let rec visit q =
-    if not seen.(q) then begin
-      seen.(q) <- true;
-      Array.iter (List.iter visit) b.delta.(q)
-    end
-  in
-  visit b.start;
-  seen
+let graph b = Digraph.of_delta b.delta
 
-let has_self_loop b q = Array.exists (List.exists (Int.equal q)) b.delta.(q)
+let reachable b = Digraph.reachable (graph b) [ b.start ]
 
 let sccs b =
-  let n = b.nstates in
-  let index = Array.make n (-1) in
-  let lowlink = Array.make n 0 in
-  let on_stack = Array.make n false in
-  let stack = ref [] in
-  let counter = ref 0 in
-  let comp = Array.make n (-1) in
-  let comps = ref [] in
-  let ncomp = ref 0 in
-  let rec strongconnect v =
-    index.(v) <- !counter;
-    lowlink.(v) <- !counter;
-    incr counter;
-    stack := v :: !stack;
-    on_stack.(v) <- true;
-    Array.iter
-      (List.iter (fun w ->
-           if index.(w) = -1 then begin
-             strongconnect w;
-             lowlink.(v) <- min lowlink.(v) lowlink.(w)
-           end
-           else if on_stack.(w) then lowlink.(v) <- min lowlink.(v) index.(w)))
-      b.delta.(v);
-    if lowlink.(v) = index.(v) then begin
-      let members = ref [] in
-      let continue_ = ref true in
-      while !continue_ do
-        match !stack with
-        | [] -> continue_ := false
-        | w :: rest ->
-            stack := rest;
-            on_stack.(w) <- false;
-            comp.(w) <- !ncomp;
-            members := w :: !members;
-            if w = v then continue_ := false
-      done;
-      comps := !members :: !comps;
-      incr ncomp
-    end
-  in
-  for v = 0 to n - 1 do
-    if index.(v) = -1 then strongconnect v
-  done;
-  (comp, !comps)
+  let r = Digraph.sccs (graph b) in
+  (r.Digraph.comp, r.Digraph.comps)
 
-let on_cycle b =
-  let comp, comps = sccs b in
-  let comp_size = Array.make (List.length comps) 0 in
-  Array.iter (fun c -> comp_size.(c) <- comp_size.(c) + 1) comp;
-  Array.init b.nstates (fun q -> comp_size.(comp.(q)) > 1 || has_self_loop b q)
+let on_cycle_of (r : Digraph.scc) nstates =
+  Array.init nstates (fun q -> r.Digraph.nontrivial.(r.Digraph.comp.(q)))
 
-let live_states b =
-  let cyc = on_cycle b in
-  (* Live: can reach an accepting state on a cycle. Backwards BFS over the
-     reversed edges — O(states + transitions), where the seed re-scanned
-     every state's successors until stable. *)
-  let live = Array.init b.nstates (fun q -> b.accepting.(q) && cyc.(q)) in
-  let preds = Array.make b.nstates [] in
-  Array.iteri
-    (fun q row ->
-      Array.iter (List.iter (fun q' -> preds.(q') <- q :: preds.(q'))) row)
-    b.delta;
-  let queue = Queue.create () in
-  Array.iteri (fun q l -> if l then Queue.push q queue) live;
-  while not (Queue.is_empty queue) do
-    let q = Queue.pop queue in
-    List.iter
-      (fun p ->
-        if not live.(p) then begin
-          live.(p) <- true;
-          Queue.push p queue
-        end)
-      preds.(q)
-  done;
-  live
+let on_cycle b = on_cycle_of (Digraph.sccs (graph b)) b.nstates
+
+let live_states_of g b =
+  (* Live: can reach an accepting state on a cycle — backward reachability
+     (on the transposed CSR graph) from the accepting members of
+     nontrivial SCCs. *)
+  let cyc = on_cycle_of (Digraph.sccs g) b.nstates in
+  Digraph.reachable_from (Digraph.reverse g)
+    (Array.init b.nstates (fun q -> b.accepting.(q) && cyc.(q)))
+
+let live_states b = live_states_of (graph b) b
 
 let restrict b keep =
   if not keep.(b.start) then empty_language ~alphabet:b.alphabet
@@ -177,18 +96,23 @@ let restrict b keep =
       ~accepting
   end
 
+let reach_and_live b =
+  let g = graph b in
+  (Digraph.reachable g [ b.start ], live_states_of g b)
+
 let trim_live b =
-  let reach = reachable b and live = live_states b in
+  let reach, live = reach_and_live b in
   restrict b (Array.init b.nstates (fun q -> reach.(q) && live.(q)))
 
 let is_empty b =
-  let reach = reachable b and live = live_states b in
+  let reach, live = reach_and_live b in
   not (reach.(b.start) && live.(b.start))
 
 (* BFS shortest path in the labeled graph from [src] to any state in
    [targets]; returns the word and the state reached. [min_steps] forces at
    least that many transitions (used to find nonempty cycles). *)
 let bfs_word b ~src ~targets ~min_steps =
+  let g = graph b in
   let n = b.nstates in
   (* Layer 0 is src with 0 steps; track (state, steps>=min as flag). *)
   let seen = Array.make_matrix n 2 false in
@@ -204,17 +128,14 @@ let bfs_word b ~src ~targets ~min_steps =
     else
       (* After one or more steps the min-step obligation (0 or 1 here) is
          met, so successors always carry flag 1. *)
-      Array.iteri
-        (fun s succs ->
-          List.iter
-            (fun q' ->
-              if not seen.(q').(1) then begin
-                seen.(q').(1) <- true;
-                Hashtbl.replace parent (q', 1) (q, f, s);
-                Queue.push (q', 1) queue
-              end)
-            succs)
-        b.delta.(q)
+      for s = 0 to b.alphabet - 1 do
+        Digraph.iter_succ_sym g q s (fun q' ->
+            if not seen.(q').(1) then begin
+              seen.(q').(1) <- true;
+              Hashtbl.replace parent (q', 1) (q, f, s);
+              Queue.push (q', 1) queue
+            end)
+      done
   done;
   Option.map
     (fun target ->
@@ -244,76 +165,20 @@ let accepts_lasso b w =
   let next p = if p + 1 < total then p + 1 else sp in
   (* Product graph over (state, position); find a reachable accepting
      product-cycle. A cycle in the product necessarily lives in the
-     periodic positions, so detect: reachable (q, p) with q accepting that
-     can return to itself. *)
+     periodic positions, so the search is exactly the kernel's good-SCC
+     query restricted to the reachable part. *)
   let n = b.nstates in
   let node q p = (q * total) + p in
-  let nn = n * total in
-  let succs = Array.make nn [] in
-  for q = 0 to n - 1 do
-    for p = 0 to total - 1 do
-      let letter = Lasso.at w p in
-      succs.(node q p) <-
-        List.map (fun q' -> node q' (next p)) b.delta.(q).(letter)
-    done
-  done;
-  (* Reachability from (start, 0). *)
-  let seen = Array.make nn false in
-  let rec visit v =
-    if not seen.(v) then begin
-      seen.(v) <- true;
-      List.iter visit succs.(v)
-    end
+  let succs =
+    Array.init (n * total) (fun v ->
+        let q = v / total and p = v mod total in
+        List.map (fun q' -> node q' (next p)) b.delta.(q).(Lasso.at w p))
   in
-  visit (node b.start 0);
-  (* SCCs of the product restricted to reachable nodes. *)
-  let index = Array.make nn (-1) in
-  let lowlink = Array.make nn 0 in
-  let on_stack = Array.make nn false in
-  let stack = ref [] in
-  let counter = ref 0 in
-  let found = ref false in
-  let rec strongconnect v =
-    index.(v) <- !counter;
-    lowlink.(v) <- !counter;
-    incr counter;
-    stack := v :: !stack;
-    on_stack.(v) <- true;
-    List.iter
-      (fun w' ->
-        if seen.(w') then
-          if index.(w') = -1 then begin
-            strongconnect w';
-            lowlink.(v) <- min lowlink.(v) lowlink.(w')
-          end
-          else if on_stack.(w') then lowlink.(v) <- min lowlink.(v) index.(w'))
-      succs.(v);
-    if lowlink.(v) = index.(v) then begin
-      let members = ref [] in
-      let continue_ = ref true in
-      while !continue_ do
-        match !stack with
-        | [] -> continue_ := false
-        | w' :: rest ->
-            stack := rest;
-            on_stack.(w') <- false;
-            members := w' :: !members;
-            if w' = v then continue_ := false
-      done;
-      let ms = !members in
-      let nontrivial =
-        match ms with
-        | [ single ] -> List.exists (Int.equal single) succs.(single)
-        | _ -> List.length ms > 1
-      in
-      if nontrivial && List.exists (fun v' -> b.accepting.(v' / total)) ms
-      then found := true
-    end
-  in
-  for v = 0 to nn - 1 do
-    if seen.(v) && index.(v) = -1 then strongconnect v
-  done;
-  !found
+  let g = Digraph.of_successors succs in
+  let reach = Digraph.reachable g [ node b.start 0 ] in
+  Digraph.has_good_scc g
+    ~filter:(fun v -> reach.(v))
+    ~predicates:[ (fun v -> b.accepting.(v / total)) ]
 
 let to_prefix_nfa b =
   Sl_nfa.Nfa.make ~alphabet:b.alphabet ~nstates:b.nstates ~starts:[ b.start ]
@@ -325,12 +190,8 @@ let rename_start b q =
   { b with start = q }
 
 let size_info b =
-  let m =
-    Array.fold_left
-      (fun acc row -> Array.fold_left (fun a l -> a + List.length l) acc row)
-      0 b.delta
-  in
-  Printf.sprintf "%d states, %d transitions" b.nstates m
+  Printf.sprintf "%d states, %d transitions" b.nstates
+    (Digraph.nedges (graph b))
 
 let pp fmt b =
   Format.fprintf fmt "@[<v>buchi(%d states, start %d)@," b.nstates b.start;
@@ -343,6 +204,15 @@ let pp fmt b =
     Format.fprintf fmt "@,"
   done;
   Format.fprintf fmt "@]"
+
+(* Compile-time witness: this module has the shared automaton shape. *)
+module _ : Asig.S with type t = t = struct
+  type nonrec t = t
+
+  let alphabet b = b.alphabet
+  let nstates b = b.nstates
+  let graph = graph
+end
 
 let random ?(seed = 42) ~alphabet ~nstates ~density ~accepting_fraction () =
   let st = Random.State.make [| seed |] in

@@ -35,7 +35,14 @@ val universal : alphabet:int -> t
 (** A one-state all-accepting automaton with every self-loop:
     [L = Σ^ω]. *)
 
-(** {1 Graph analysis} *)
+(** {1 Graph analysis}
+
+    All analyses run on the shared packed-CSR kernel
+    {!Sl_core.Digraph}; {!graph} exposes the handle. *)
+
+val graph : t -> Sl_core.Digraph.t
+(** The symbol-labeled transition graph as a CSR kernel graph (built on
+    demand; successor order and duplicates preserved). *)
 
 val reachable : t -> bool array
 

@@ -1,4 +1,5 @@
 module Lasso = Sl_word.Lasso
+module Digraph = Sl_core.Digraph
 
 type t = {
   alphabet : int;
@@ -51,87 +52,43 @@ let degeneralize g =
   Buchi.make ~alphabet:g.alphabet ~nstates ~start:(encode g.start 0) ~delta
     ~accepting
 
-(* Generic search for a reachable nontrivial SCC meeting every acceptance
-   predicate, over an explicit successor function. *)
-let good_scc ~nnodes ~succs ~start ~predicates =
-  let seen = Array.make nnodes false in
-  let rec visit v =
-    if not seen.(v) then begin
-      seen.(v) <- true;
-      List.iter visit (succs v)
-    end
-  in
-  visit start;
-  let index = Array.make nnodes (-1) in
-  let lowlink = Array.make nnodes 0 in
-  let on_stack = Array.make nnodes false in
-  let stack = ref [] in
-  let counter = ref 0 in
-  let found = ref false in
-  let rec strongconnect v =
-    index.(v) <- !counter;
-    lowlink.(v) <- !counter;
-    incr counter;
-    stack := v :: !stack;
-    on_stack.(v) <- true;
-    List.iter
-      (fun w ->
-        if seen.(w) then
-          if index.(w) = -1 then begin
-            strongconnect w;
-            lowlink.(v) <- min lowlink.(v) lowlink.(w)
-          end
-          else if on_stack.(w) then lowlink.(v) <- min lowlink.(v) index.(w))
-      (succs v);
-    if lowlink.(v) = index.(v) then begin
-      let members = ref [] in
-      let brk = ref false in
-      while not !brk do
-        match !stack with
-        | [] -> brk := true
-        | w :: rest ->
-            stack := rest;
-            on_stack.(w) <- false;
-            members := w :: !members;
-            if w = v then brk := true
-      done;
-      let ms = !members in
-      let nontrivial =
-        match ms with
-        | [ single ] -> List.exists (Int.equal single) (succs single)
-        | _ -> List.length ms > 1
-      in
-      if
-        nontrivial
-        && List.for_all (fun pred -> List.exists pred ms) predicates
-      then found := true
-    end
-  in
-  for v = 0 to nnodes - 1 do
-    if seen.(v) && index.(v) = -1 then strongconnect v
-  done;
-  !found
+let graph g = Digraph.of_delta g.delta
+
+(* Compile-time witness: this module has the shared automaton shape. *)
+module _ : Sl_core.Automaton_sig.S with type t = t = struct
+  type nonrec t = t
+
+  let alphabet g = g.alphabet
+  let nstates g = g.nstates
+  let graph = graph
+end
+
+(* Both emptiness and lasso membership are the kernel's generalized
+   good-SCC query: a reachable nontrivial SCC meeting every acceptance
+   predicate. *)
 
 let accepts_lasso g w =
   let sp = Lasso.spoke w and pe = Lasso.period w in
   let total = sp + pe in
   let next p = if p + 1 < total then p + 1 else sp in
   let node q p = (q * total) + p in
-  let succs v =
-    let q = v / total and p = v mod total in
-    List.map (fun q' -> node q' (next p)) g.delta.(q).(Lasso.at w p)
+  let succs =
+    Array.init (g.nstates * total) (fun v ->
+        let q = v / total and p = v mod total in
+        List.map (fun q' -> node q' (next p)) g.delta.(q).(Lasso.at w p))
   in
-  good_scc ~nnodes:(g.nstates * total) ~succs ~start:(node g.start 0)
-    ~predicates:
-      (List.map (fun set v -> set.(v / total)) g.acceptance)
+  let dg = Digraph.of_successors succs in
+  let reach = Digraph.reachable dg [ node g.start 0 ] in
+  Digraph.has_good_scc dg
+    ~filter:(fun v -> reach.(v))
+    ~predicates:(List.map (fun set v -> set.(v / total)) g.acceptance)
 
 let is_empty g =
-  let succs q =
-    Array.fold_left (fun acc l -> List.rev_append l acc) [] g.delta.(q)
-    |> List.sort_uniq compare
-  in
+  let dg = graph g in
+  let reach = Digraph.reachable dg [ g.start ] in
   not
-    (good_scc ~nnodes:g.nstates ~succs ~start:g.start
+    (Digraph.has_good_scc dg
+       ~filter:(fun q -> reach.(q))
        ~predicates:(List.map (fun set q -> set.(q)) g.acceptance))
 
 let pp fmt g =

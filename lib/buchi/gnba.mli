@@ -25,6 +25,9 @@ val make :
 
 val of_buchi : Buchi.t -> t
 
+val graph : t -> Sl_core.Digraph.t
+(** The symbol-labeled transition graph as a CSR kernel graph. *)
+
 val degeneralize : t -> Buchi.t
 (** Counter construction: state [(q, i)] waits for the [i]-th set;
     accepting on [(q, 0)] with [q] in the first set. Language is

@@ -1,18 +1,19 @@
+module Digraph = Sl_core.Digraph
+
 let is_terminal (b : Buchi.t) =
+  let g = Buchi.graph b in
   let reach = Buchi.reachable b in
   let ok = ref true in
   for q = 0 to b.nstates - 1 do
     if reach.(q) && b.accepting.(q) then
-      Array.iter
-        (fun succs ->
-          (* Complete within acceptance: a run that has reached the
-             accepting region can neither die nor leave it, so reaching
-             it IS a good prefix. *)
-          if succs = [] then ok := false;
-          List.iter
-            (fun q' -> if not b.accepting.(q') then ok := false)
-            succs)
-        b.delta.(q)
+      for s = 0 to b.alphabet - 1 do
+        (* Complete within acceptance: a run that has reached the
+           accepting region can neither die nor leave it, so reaching
+           it IS a good prefix. *)
+        if Digraph.sym_degree g q s = 0 then ok := false;
+        Digraph.iter_succ_sym g q s (fun q' ->
+            if not b.accepting.(q') then ok := false)
+      done
   done;
   !ok
 

@@ -1,0 +1,52 @@
+module type S = sig
+  type t
+
+  val alphabet : t -> int
+  val nstates : t -> int
+  val graph : t -> Digraph.t
+end
+
+let fail name what = invalid_arg (name ^ ": " ^ what)
+
+let check_alphabet ~name alphabet =
+  if alphabet < 1 then fail name "empty alphabet"
+
+let check_nstates ?(min = 1) ~name nstates =
+  if nstates < min then
+    fail name
+      (if min <= 0 then "negative state count" else "need at least one state")
+
+let check_state ~name ~nstates q =
+  if q < 0 || q >= nstates then fail name "bad start"
+
+let check_delta ~name ~alphabet ~nstates delta =
+  if Array.length delta <> nstates then fail name "shape mismatch";
+  Array.iter
+    (fun row ->
+      if Array.length row <> alphabet then fail name "row shape";
+      Array.iter
+        (List.iter (fun q ->
+             if q < 0 || q >= nstates then fail name "successor out of range"))
+        row)
+    delta
+
+let check_flags ~name ~nstates flags =
+  if Array.length flags <> nstates then fail name "shape mismatch"
+
+let delta_of_edges ~name ~alphabet ~nstates edges =
+  let delta = Array.make_matrix nstates alphabet [] in
+  List.iter
+    (fun (q, s, q') ->
+      if q < 0 || q >= nstates || s < 0 || s >= alphabet then
+        fail name "edge out of range";
+      delta.(q).(s) <- q' :: delta.(q).(s))
+    edges;
+  Array.iter
+    (fun row -> Array.iteri (fun s l -> row.(s) <- List.sort_uniq compare l) row)
+    delta;
+  delta
+
+let flags_of_list ~nstates states =
+  let flags = Array.make nstates false in
+  List.iter (fun q -> flags.(q) <- true) states;
+  flags

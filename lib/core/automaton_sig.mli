@@ -1,0 +1,58 @@
+(** The shared shape of every finite-state layer in the repository, and
+    the one implementation of the make/validate/of_edges input checking
+    that the automaton modules ([Nfa], [Dfa], [Buchi], [Gnba],
+    [Acceptance], [Rabin]) previously each re-implemented.
+
+    Each automaton module provides a compile-time witness that it
+    matches {!S}; the validators here raise [Invalid_argument] with the
+    caller's [name] prefix, so error messages keep their per-module
+    shape ("Buchi.make: bad start"). *)
+
+(** What every automaton layer exposes: an integer alphabet, a dense
+    state space, and its transition structure as a {!Digraph.t} — the
+    handle all shared graph analyses run on. *)
+module type S = sig
+  type t
+
+  val alphabet : t -> int
+  val nstates : t -> int
+
+  val graph : t -> Digraph.t
+  (** The transition graph (symbol-labeled where the layer has symbols;
+      tuple components flattened for tree automata). *)
+end
+
+(** {1 Validators} — all raise [Invalid_argument] prefixed by [name]. *)
+
+val check_alphabet : name:string -> int -> unit
+(** Requires at least one symbol. *)
+
+val check_nstates : ?min:int -> name:string -> int -> unit
+(** Requires [nstates >= min] (default [1]). *)
+
+val check_state : name:string -> nstates:int -> int -> unit
+(** Range check for a designated state (a start state). *)
+
+val check_delta :
+  name:string -> alphabet:int -> nstates:int -> int list array array -> unit
+(** Shape check for a list-valued transition table: [nstates] rows of
+    [alphabet] cells, all successors in range. *)
+
+val check_flags : name:string -> nstates:int -> bool array -> unit
+(** A per-state flag array must have exactly [nstates] entries. *)
+
+(** {1 Constructors} *)
+
+val delta_of_edges :
+  name:string ->
+  alphabet:int ->
+  nstates:int ->
+  (int * int * int) list ->
+  int list array array
+(** Transition table from [(source, symbol, target)] triples; each cell
+    is sorted and deduplicated. Range-checks sources and symbols
+    ([check_delta] still validates the result's targets). *)
+
+val flags_of_list : nstates:int -> int list -> bool array
+(** Flag array from a state list (out-of-range entries are the caller's
+    [check_state] responsibility). *)

@@ -1,86 +1,19 @@
 module Kripke = Sl_kripke.Kripke
+module Digraph = Sl_core.Digraph
 
 type constraints = bool array list
 
-(* SCCs of the subgraph induced by [keep]. *)
-let sccs_within (k : Kripke.t) keep =
-  let n = k.nstates in
-  let index = Array.make n (-1) in
-  let lowlink = Array.make n 0 in
-  let on_stack = Array.make n false in
-  let stack = ref [] in
-  let counter = ref 0 in
-  let comps = ref [] in
-  let succs q = List.filter (fun q' -> keep.(q')) k.successors.(q) in
-  let rec strongconnect v =
-    index.(v) <- !counter;
-    lowlink.(v) <- !counter;
-    incr counter;
-    stack := v :: !stack;
-    on_stack.(v) <- true;
-    List.iter
-      (fun w ->
-        if index.(w) = -1 then begin
-          strongconnect w;
-          lowlink.(v) <- min lowlink.(v) lowlink.(w)
-        end
-        else if on_stack.(w) then lowlink.(v) <- min lowlink.(v) index.(w))
-      (succs v);
-    if lowlink.(v) = index.(v) then begin
-      let members = ref [] in
-      let brk = ref false in
-      while not !brk do
-        match !stack with
-        | [] -> brk := true
-        | w :: rest ->
-            stack := rest;
-            on_stack.(w) <- false;
-            members := w :: !members;
-            if w = v then brk := true
-      done;
-      comps := !members :: !comps
-    end
-  in
-  for v = 0 to n - 1 do
-    if keep.(v) && index.(v) = -1 then strongconnect v
-  done;
-  !comps
-
 (* E_fair G f: f-states that reach (within f) a nontrivial f-SCC meeting
-   every fairness set. *)
+   every fairness set — the kernel's good-SCC query followed by backward
+   reachability on the transposed graph, both restricted to f. *)
 let eg (k : Kripke.t) constraints f =
-  let n = k.nstates in
-  let seeds = Array.make n false in
-  List.iter
-    (fun comp ->
-      let nontrivial =
-        match comp with
-        | [ v ] -> List.mem v (List.filter (fun w -> f.(w)) k.successors.(v))
-        | _ -> true
-      in
-      if
-        nontrivial
-        && List.for_all
-             (fun set -> List.exists (fun q -> set.(q)) comp)
-             constraints
-      then List.iter (fun q -> seeds.(q) <- true) comp)
-    (sccs_within k f);
-  (* Backwards reachability within f. *)
-  let v = seeds in
-  let changed = ref true in
-  while !changed do
-    changed := false;
-    for q = 0 to n - 1 do
-      if
-        f.(q) && (not v.(q))
-        && List.exists (fun q' -> v.(q')) k.successors.(q)
-      then begin
-        v.(q) <- true;
-        changed := true
-      end
-    done
-  done;
-  v
+  let g = Digraph.of_successors k.successors in
+  let keep q = f.(q) in
+  let seeds =
+    Digraph.good_scc_members g ~filter:keep
+      ~predicates:(List.map (fun set q -> set.(q)) constraints)
+  in
+  Digraph.reachable_from ~filter:keep (Digraph.reverse g) seeds
 
 let fair_states k constraints =
   eg k constraints (Array.make k.Kripke.nstates true)

@@ -40,16 +40,9 @@ let ap_index k p =
 let holds k q p =
   match ap_index k p with Some i -> k.labels.(q).(i) | None -> false
 
-let reachable k =
-  let seen = Array.make k.nstates false in
-  let rec visit q =
-    if not seen.(q) then begin
-      seen.(q) <- true;
-      List.iter visit k.successors.(q)
-    end
-  in
-  visit k.initial;
-  seen
+let graph k = Sl_core.Digraph.of_successors k.successors
+
+let reachable k = Sl_core.Digraph.reachable (graph k) [ k.initial ]
 
 let restrict_reachable k =
   let reach = reachable k in

@@ -25,6 +25,10 @@ val holds : t -> int -> string -> bool
     Unknown propositions are false. *)
 
 val ap_index : t -> string -> int option
+
+val graph : t -> Sl_core.Digraph.t
+(** The transition graph as a CSR kernel graph (unlabeled). *)
+
 val reachable : t -> bool array
 val restrict_reachable : t -> t
 (** Drop unreachable states (renumbering). *)

@@ -1,3 +1,6 @@
+module Digraph = Sl_core.Digraph
+module Asig = Sl_core.Automaton_sig
+
 type t = {
   alphabet : int;
   nstates : int;
@@ -7,20 +10,13 @@ type t = {
 }
 
 let make ~alphabet ~nstates ~start ~delta ~accepting =
-  if alphabet < 1 then invalid_arg "Dfa.make: empty alphabet";
-  if nstates < 1 then invalid_arg "Dfa.make: need at least one state";
-  if start < 0 || start >= nstates then invalid_arg "Dfa.make: bad start";
-  if Array.length delta <> nstates || Array.length accepting <> nstates then
-    invalid_arg "Dfa.make: shape mismatch";
-  Array.iter
-    (fun row ->
-      if Array.length row <> alphabet then
-        invalid_arg "Dfa.make: transition row shape";
-      Array.iter
-        (fun q -> if q < 0 || q >= nstates then
-            invalid_arg "Dfa.make: successor out of range")
-        row)
-    delta;
+  let name = "Dfa.make" in
+  Asig.check_alphabet ~name alphabet;
+  Asig.check_nstates ~name nstates;
+  Asig.check_state ~name ~nstates start;
+  Asig.check_flags ~name ~nstates accepting;
+  Asig.check_delta ~name ~alphabet ~nstates
+    (Array.map (Array.map (fun q -> [ q ])) delta);
   { alphabet; nstates; start; delta; accepting }
 
 let step d q s = d.delta.(q).(s)
@@ -50,16 +46,18 @@ let product ~bool_op a b =
 let intersect = product ~bool_op:( && )
 let union = product ~bool_op:( || )
 
-let reachable d =
-  let seen = Array.make d.nstates false in
-  let rec visit q =
-    if not seen.(q) then begin
-      seen.(q) <- true;
-      Array.iter visit d.delta.(q)
-    end
-  in
-  visit d.start;
-  seen
+let graph d = Digraph.of_array_delta d.delta
+
+(* Compile-time witness: this module has the shared automaton shape. *)
+module _ : Asig.S with type t = t = struct
+  type nonrec t = t
+
+  let alphabet d = d.alphabet
+  let nstates d = d.nstates
+  let graph = graph
+end
+
+let reachable d = Digraph.reachable (graph d) [ d.start ]
 
 let some_accepted_word d =
   (* BFS from the start recording a parent edge per state. *)
@@ -145,24 +143,11 @@ let minimize d =
 
 let is_prefix_closed d =
   (* Prefix-closed iff no reachable non-accepting state can reach an
-     accepting state. *)
-  let reach = reachable d in
-  let can_accept = Array.make d.nstates false in
-  (* Fixpoint of backwards reachability to accepting states. *)
-  Array.iteri (fun q a -> if a then can_accept.(q) <- true) d.accepting;
-  let changed = ref true in
-  while !changed do
-    changed := false;
-    for q = 0 to d.nstates - 1 do
-      if
-        (not can_accept.(q))
-        && Array.exists (fun q' -> can_accept.(q')) d.delta.(q)
-      then begin
-        can_accept.(q) <- true;
-        changed := true
-      end
-    done
-  done;
+     accepting state. Backwards reachability runs on the transposed CSR
+     graph (the seed iterated a quadratic fixpoint sweep). *)
+  let g = graph d in
+  let reach = Digraph.reachable g [ d.start ] in
+  let can_accept = Digraph.reachable_from (Digraph.reverse g) d.accepting in
   let ok = ref true in
   for q = 0 to d.nstates - 1 do
     if reach.(q) && (not d.accepting.(q)) && can_accept.(q) then ok := false

@@ -37,6 +37,10 @@ val product : bool_op:(bool -> bool -> bool) -> t -> t -> t
 val intersect : t -> t -> t
 val union : t -> t -> t
 
+val graph : t -> Sl_core.Digraph.t
+(** The transition graph as a CSR kernel graph (one successor per
+    (state, symbol)). *)
+
 val reachable : t -> bool array
 val is_empty : t -> bool
 (** No reachable accepting state. *)

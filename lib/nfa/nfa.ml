@@ -1,3 +1,7 @@
+module B = Sl_core.Bitset
+module Digraph = Sl_core.Digraph
+module Asig = Sl_core.Automaton_sig
+
 type t = {
   alphabet : int;
   nstates : int;
@@ -7,68 +11,56 @@ type t = {
 }
 
 let make ~alphabet ~nstates ~starts ~delta ~accepting =
-  if alphabet < 1 then invalid_arg "Nfa.make: empty alphabet";
-  if nstates < 0 then invalid_arg "Nfa.make: negative state count";
-  let check_state q =
-    if q < 0 || q >= nstates then invalid_arg "Nfa.make: state out of range"
-  in
-  List.iter check_state starts;
-  if Array.length delta <> nstates || Array.length accepting <> nstates then
-    invalid_arg "Nfa.make: shape mismatch";
-  Array.iter
-    (fun row ->
-      if Array.length row <> alphabet then invalid_arg "Nfa.make: row shape";
-      Array.iter (List.iter check_state) row)
-    delta;
+  let name = "Nfa.make" in
+  Asig.check_alphabet ~name alphabet;
+  Asig.check_nstates ~name ~min:0 nstates;
+  List.iter (Asig.check_state ~name ~nstates) starts;
+  Asig.check_flags ~name ~nstates accepting;
+  Asig.check_delta ~name ~alphabet ~nstates delta;
   { alphabet; nstates; starts; delta; accepting }
 
 let empty ~alphabet =
   make ~alphabet ~nstates:0 ~starts:[] ~delta:[||] ~accepting:[||]
 
-let successors n set s =
-  List.concat_map (fun q -> n.delta.(q).(s)) set |> List.sort_uniq compare
+let graph n = Digraph.of_delta n.delta
+
+(* Compile-time witness: this module has the shared automaton shape. *)
+module _ : Asig.S with type t = t = struct
+  type nonrec t = t
+
+  let alphabet n = n.alphabet
+  let nstates n = n.nstates
+  let graph = graph
+end
+
+(* Successor set of a state set: one bitset pass instead of the seed's
+   concat-then-[sort_uniq] (which allocated and sorted a list with one
+   entry per transition, quadratic on dense frontiers). The result is
+   still an ascending duplicate-free list. *)
+let successor_set n set s =
+  let succ = B.create n.nstates in
+  B.iter
+    (fun q -> List.iter (fun q' -> B.unsafe_add succ q') n.delta.(q).(s))
+    set;
+  succ
+
+let successors n set s = B.to_list (successor_set n (B.of_list n.nstates set) s)
 
 let accepts n word =
   let final =
-    List.fold_left (fun set s -> successors n set s)
-      (List.sort_uniq compare n.starts)
+    List.fold_left
+      (fun set s -> successor_set n set s)
+      (B.of_list n.nstates n.starts)
       word
   in
-  List.exists (fun q -> n.accepting.(q)) final
+  B.exists (fun q -> n.accepting.(q)) final
 
-let reachable n =
-  let seen = Array.make n.nstates false in
-  let rec visit q =
-    if not seen.(q) then begin
-      seen.(q) <- true;
-      Array.iter (List.iter visit) n.delta.(q)
-    end
-  in
-  List.iter visit n.starts;
-  seen
+let reachable n = Digraph.reachable (graph n) n.starts
 
 let co_reachable n =
-  (* Backwards BFS over the reversed edges: O(states + transitions) rather
-     than the seed's quadratic repeat-until-stable sweep. *)
-  let can = Array.copy n.accepting in
-  let preds = Array.make n.nstates [] in
-  Array.iteri
-    (fun q row ->
-      Array.iter (List.iter (fun q' -> preds.(q') <- q :: preds.(q'))) row)
-    n.delta;
-  let queue = Queue.create () in
-  Array.iteri (fun q a -> if a then Queue.push q queue) can;
-  while not (Queue.is_empty queue) do
-    let q = Queue.pop queue in
-    List.iter
-      (fun p ->
-        if not can.(p) then begin
-          can.(p) <- true;
-          Queue.push p queue
-        end)
-      preds.(q)
-  done;
-  can
+  (* Backwards reachability from the accepting states, on the transposed
+     CSR graph. *)
+  Digraph.reachable_from (Digraph.reverse (graph n)) n.accepting
 
 let restrict n keep =
   let remap = Array.make n.nstates (-1) in

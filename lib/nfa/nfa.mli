@@ -23,8 +23,14 @@ val empty : alphabet:int -> t
 (** The automaton of the empty language. *)
 
 val accepts : t -> int list -> bool
+(** Membership by running the subset frontier as a packed bitset — one
+    bit per state, no per-step sorting. *)
+
 val successors : t -> int list -> int -> int list
 (** Set image of a state set under one symbol (sorted, deduplicated). *)
+
+val graph : t -> Sl_core.Digraph.t
+(** The symbol-labeled transition graph as a CSR kernel graph. *)
 
 val reachable : t -> bool array
 

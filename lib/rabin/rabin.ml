@@ -1,5 +1,6 @@
 module Ftree = Sl_tree.Ftree
 module Rtree = Sl_tree.Rtree
+module Digraph = Sl_core.Digraph
 
 type t = {
   alphabet : int;
@@ -37,6 +38,23 @@ let make ~alphabet ~k ~nstates ~start ~delta ~pairs =
         invalid_arg "Rabin.make: pair shape")
     pairs;
   { alphabet; k; nstates; start; delta; pairs }
+
+let graph b =
+  (* Tuple components flattened: [q --s--> q'] whenever [q'] occurs in
+     some successor tuple of [delta.(q).(s)]. *)
+  Digraph.of_delta
+    (Array.map
+       (Array.map (List.concat_map Array.to_list))
+       b.delta)
+
+(* Compile-time witness: this module has the shared automaton shape. *)
+module _ : Sl_core.Automaton_sig.S with type t = t = struct
+  type nonrec t = t
+
+  let alphabet b = b.alphabet
+  let nstates b = b.nstates
+  let graph = graph
+end
 
 let buchi_condition ~nstates ~accepting =
   let green = Array.make nstates false in
@@ -194,63 +212,25 @@ let accepts_buchi b t =
 (* All paths of a run graph satisfy the Rabin condition iff no reachable
    "violating" strongly connected subgraph exists: a closed walk C with,
    for every pair, C ∩ green = ∅ or C ∩ red ≠ ∅. Classic recursive SCC
-   peeling (the violating condition is a Streett condition). *)
+   peeling (the violating condition is a Streett condition), with the SCC
+   decomposition of each induced subgraph delegated to the shared CSR
+   kernel — the run graph is materialized once per strategy. *)
 let run_graph_violates ~npos ~succ ~reachable ~state_of ~pairs =
+  let g = Digraph.of_fn ~nodes:npos succ in
+  let in_nodes = Array.make npos false in
   let sccs nodes =
-    (* Array-indexed Tarjan on the induced subgraph; the seed kept
-       index/lowlink/on-stack in per-node hashtables. Self-loops are
-       recorded during the successor scan so singleton components need no
-       membership retest. *)
-    let index = Array.make npos (-1) in
-    let lowlink = Array.make npos 0 in
-    let on_stack = Array.make npos false in
-    let self_loop = Array.make npos false in
-    let in_nodes = Array.make npos false in
+    Array.fill in_nodes 0 npos false;
     List.iter (fun v -> in_nodes.(v) <- true) nodes;
-    let stack = ref [] in
-    let counter = ref 0 in
-    let comps = ref [] in
-    let rec strongconnect v =
-      index.(v) <- !counter;
-      lowlink.(v) <- !counter;
-      incr counter;
-      stack := v :: !stack;
-      on_stack.(v) <- true;
-      List.iter
-        (fun w ->
-          if in_nodes.(w) then begin
-            if w = v then self_loop.(v) <- true;
-            if index.(w) = -1 then begin
-              strongconnect w;
-              lowlink.(v) <- min lowlink.(v) lowlink.(w)
-            end
-            else if on_stack.(w) then lowlink.(v) <- min lowlink.(v) index.(w)
-          end)
-        (succ v);
-      if lowlink.(v) = index.(v) then begin
-        let members = ref [] in
-        let brk = ref false in
-        while not !brk do
-          match !stack with
-          | [] -> brk := true
-          | w :: rest ->
-              stack := rest;
-              on_stack.(w) <- false;
-              members := w :: !members;
-              if w = v then brk := true
-        done;
-        comps := !members :: !comps
-      end
-    in
-    List.iter (fun v -> if index.(v) = -1 then strongconnect v) nodes;
-    (!comps, self_loop)
+    Digraph.sccs ~filter:(fun v -> in_nodes.(v)) g
   in
   let rec violating nodes =
-    let comps, self_loop = sccs nodes in
+    let r = sccs nodes in
     List.exists
       (fun comp ->
         let nontrivial =
-          match comp with [ v ] -> self_loop.(v) | _ -> true
+          match comp with
+          | [] -> false
+          | hd :: _ -> r.Digraph.nontrivial.(r.Digraph.comp.(hd))
         in
         if not nontrivial then false
         else begin
@@ -279,7 +259,7 @@ let run_graph_violates ~npos ~succ ~reachable ~state_of ~pairs =
             else violating shrunk
           end
         end)
-      comps
+      r.Digraph.comps
   in
   violating (List.filter (fun v -> reachable.(v)) (List.init npos Fun.id))
 

@@ -44,6 +44,11 @@ val make :
   delta:int array list array array -> pairs:(bool array * bool array) list ->
   t
 
+val graph : t -> Sl_core.Digraph.t
+(** The transition graph with successor-tuple components flattened:
+    [q --s--> q'] whenever [q'] occurs in some tuple of
+    [delta.(q).(s)]. *)
+
 val buchi_condition : nstates:int -> accepting:int list -> (bool array * bool array) list
 (** The single pair [(F, ∅)]: a Büchi acceptance condition. *)
 

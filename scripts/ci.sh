@@ -1,8 +1,25 @@
 #!/bin/sh
-# CI smoke: build + full test suite, then regenerate the benchmark
-# trajectory JSON (writes BENCH_PR1.json at the repo root). Run from the
-# repository root.
+# CI smoke: build everything (library, CLI, examples, bench harness),
+# run the full test suite, run every example program, exercise the CLI,
+# then regenerate the benchmark trajectory JSON (writes BENCH_PR2.json
+# at the repo root, with ratios against the tracked BENCH_PR1.json).
+# Run from the repository root.
 set -eu
 
 dune build @runtest
+dune build bin examples bench
+
+# Examples are documentation that must keep executing.
+for ex in quickstart ltl_classification buchi_decomposition \
+          ctl_classification security_monitor model_checking; do
+  echo "--- examples/$ex"
+  dune exec "examples/$ex.exe" > /dev/null
+done
+
+# CLI smoke: one subcommand of each flavour.
+dune exec bin/slc.exe -- classify "a & F !a" > /dev/null
+dune exec bin/slc.exe -- stats "G (a -> F !a)" > /dev/null
+dune exec bin/slc.exe -- theorems > /dev/null
+
+# Bench smoke + perf trajectory.
 dune exec bench/main.exe -- bench json

@@ -4,6 +4,7 @@ let () =
       ("lattice", Test_lattice.tests);
       ("core", Test_core.tests);
       ("bitset", Test_bitset.tests);
+      ("digraph", Test_digraph.tests);
       ("word", Test_word.tests);
       ("nfa", Test_nfa.tests);
       ("buchi", Test_buchi.tests);
