@@ -4,7 +4,7 @@
      dune exec bench/main.exe              # all artifacts + all timings
      dune exec bench/main.exe ARTIFACT     # one artifact, no timings
      dune exec bench/main.exe bench        # timings only
-     dune exec bench/main.exe bench json   # timings -> BENCH_PR1.json
+     dune exec bench/main.exe bench json   # timings -> BENCH_PR3.json
 
    Artifacts (the paper's figures/tables, regenerated from scratch; see
    EXPERIMENTS.md for the mapping): fig1 fig2 rem ctl rabin
@@ -16,9 +16,9 @@
    complementation, translation, model checking) and of the two ablations
    called out in DESIGN.md §5.
 
-   [bench json] additionally writes the estimates to BENCH_PR2.json
+   [bench json] additionally writes the estimates to BENCH_PR3.json
    together with automaton-size counters, speedups against the seed, and
-   ratios against the tracked BENCH_PR1.json for every bench name the
+   ratios against the tracked BENCH_PR2.json for every bench name the
    two runs share: this is the perf trajectory future PRs regress
    against (see DESIGN.md "Performance architecture"). *)
 
@@ -189,6 +189,60 @@ let lockstep_pair =
   in
   (cycle 48, cycle 48)
 
+(* MONITOR fleet: 100 properties over 'a' from two parameterized safety
+   families, G (a -> X^k !a) (odd k) and !a | X^k a (even k), k in 1..6.
+   Only 6 are distinct, which is the realistic shape hash-consing
+   exploits; on the alternating trace below the B-family monitors become
+   admissible-forever within the first few events and the A-family stays
+   live to the end, so the engine's steady state exercises the
+   retirement machinery without going idle. *)
+let monitor_fleet_props =
+  let rec xk n f = if n = 0 then f else xk (n - 1) (Sl_ltl.Formula.x f) in
+  List.init 100 (fun i ->
+      let k = 1 + (i mod 6) in
+      let open Sl_ltl.Formula in
+      if i mod 2 = 0 then g (prop "a" ==> xk k (neg (prop "a")))
+      else neg (prop "a") ||| xk k (prop "a"))
+
+let monitor_registry =
+  let r = Sl_runtime.Registry.create ~alphabet:2 () in
+  List.iter
+    (fun f -> ignore (Sl_runtime.Registry.add_formula r f))
+    monitor_fleet_props;
+  r
+
+let monitor_trace_syms = Array.init 10_000 (fun i -> i land 1)
+let monitor_trace_ids = Array.make 10_000 0
+
+let monitor_engine =
+  Sl_runtime.Engine.create
+    ~monitors:(Sl_runtime.Registry.monitors monitor_registry)
+
+let monitor_naive_fleet =
+  List.map
+    (fun f -> Sl_buchi.Monitor.create (Lexamples.automaton f))
+    monitor_fleet_props
+
+(* Steady-state allocation of the packed engine's event loop: feed 10k
+   events to settle retirement and allocate the trace block, then count
+   minor words over the next 10k. Integer-divided per event this must be
+   0 — the acceptance criterion "per-event stepping is allocation-free"
+   made measurable. *)
+let monitor_steady_minor_words_per_event () =
+  let eng =
+    Sl_runtime.Engine.create
+      ~monitors:(Sl_runtime.Registry.monitors monitor_registry)
+  in
+  let feed () =
+    Sl_runtime.Engine.feed eng ~n:10_000 ~traces:monitor_trace_ids
+      ~symbols:monitor_trace_syms ()
+  in
+  feed ();
+  let before = Gc.minor_words () in
+  feed ();
+  let words = Gc.minor_words () -. before in
+  int_of_float words / 10_000
+
 let make_tests () =
   let t name f = Test.make ~name (Staged.stage f) in
   let scaling name make_input f sizes =
@@ -278,6 +332,23 @@ let make_tests () =
             in
             Sl_buchi.Monitor.feed m
               (List.init 1000 (fun i -> if i mod 7 = 0 then 1 else 0))) ];
+      (* MONITOR: the streaming runtime engine (batched, packed,
+         hash-consed, early retirement) vs a loop of naive per-event
+         Monitor.step calls over the same 100-property fleet and 10k-event
+         trace. Both reset their pre-built monitors per run, so the pair
+         times pure steady-state stepping, not compilation. *)
+      [ t "monitor/engine-100x10k" (fun () ->
+            Sl_runtime.Engine.reset monitor_engine;
+            Sl_runtime.Engine.feed monitor_engine ~n:10_000
+              ~traces:monitor_trace_ids ~symbols:monitor_trace_syms ());
+        t "monitor/naive-100x10k" (fun () ->
+            List.iter Sl_buchi.Monitor.reset monitor_naive_fleet;
+            Array.iter
+              (fun s ->
+                List.iter
+                  (fun m -> ignore (Sl_buchi.Monitor.step m s))
+                  monitor_naive_fleet)
+              monitor_trace_syms) ];
       (* Automata-theoretic model checking. *)
       [ t "modelcheck/ring-GF" (fun () ->
             Sl_ltl.Modelcheck.check (Kripke.token_ring 3) ~alphabet:8
@@ -441,7 +512,10 @@ let seed_baselines =
 let seedref_pairs =
   [ ("nfa/determinize-dense", "nfa/determinize-dense-seedref");
     ("ops/intersect-reachable", "ops/intersect-full-seedref");
-    ("buchi/rank-complement-3", "buchi/rank-complement-3-seedref") ]
+    ("buchi/rank-complement-3", "buchi/rank-complement-3-seedref");
+    (* The naive fleet loop is the seed-style per-event monitoring the
+       streaming engine replaces, re-measured live on the same inputs. *)
+    ("monitor/engine-100x10k", "monitor/naive-100x10k") ]
 
 (* Automaton-size counters for the microbench inputs: they document what
    the timings mean (how many states each construction materializes) and
@@ -458,7 +532,12 @@ let bench_counters () =
     ("ops/intersect-full/product-states-allocated", full.Buchi.nstates);
     ("hierarchy/classify-128/states", (random_automaton 128).Buchi.nstates);
     ("buchi/rank-complement-3/complement-states",
-     (Complement.rank_based (random_automaton 3)).Buchi.nstates) ]
+     (Complement.rank_based (random_automaton 3)).Buchi.nstates);
+    ("monitor/fleet-props", Sl_runtime.Registry.nprops monitor_registry);
+    ("monitor/fleet-distinct-monitors",
+     Sl_runtime.Registry.nmonitors monitor_registry);
+    ("monitor/steady-minor-words-per-event",
+     monitor_steady_minor_words_per_event ()) ]
 
 (* The trajectory files are hand-rolled line-per-record JSON (written by
    [run_benchmarks_json] below, in PR 1 and now); read a previous file's
@@ -534,8 +613,8 @@ let run_benchmarks_json ~path =
               baseline)
       estimates
   in
-  let prev = read_prev_results "BENCH_PR1.json" in
-  let vs_pr1 =
+  let prev = read_prev_results "BENCH_PR2.json" in
+  let vs_prev =
     match prev with
     | None -> []
     | Some prev ->
@@ -549,7 +628,7 @@ let run_benchmarks_json ~path =
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
   p "  \"schema\": \"sl-bench-trajectory/1\",\n";
-  p "  \"pr\": \"PR2\",\n";
+  p "  \"pr\": \"PR3\",\n";
   p "  \"config\": {\"quota_s\": 0.25, \"limit\": 1000, \"estimator\": \"ols\"},\n";
   p "  \"results\": [\n";
   let sorted = List.sort (fun (a, _) (b, _) -> compare a b) estimates in
@@ -577,22 +656,22 @@ let run_benchmarks_json ~path =
         (if i = List.length speedups - 1 then "" else ","))
     speedups;
   p "  ],\n";
-  p "  \"speedups_vs_pr1\": [\n";
+  p "  \"speedups_vs_pr2\": [\n";
   List.iteri
     (fun i (name, ns, base, ratio) ->
       p
-        "    {\"name\": \"%s\", \"ns_per_run\": %.1f, \"pr1_ns_per_run\": \
+        "    {\"name\": \"%s\", \"ns_per_run\": %.1f, \"pr2_ns_per_run\": \
          %.1f, \"speedup\": %.2f}%s\n"
         (json_escape name) ns base ratio
-        (if i = List.length vs_pr1 - 1 then "" else ","))
-    vs_pr1;
+        (if i = List.length vs_prev - 1 then "" else ","))
+    vs_prev;
   p "  ]\n";
   p "}\n";
   close_out oc;
   Format.printf
-    "wrote %s (%d results, %d counters, %d speedups vs seed, %d vs PR1)@."
+    "wrote %s (%d results, %d counters, %d speedups vs seed, %d vs PR2)@."
     path (List.length estimates) (List.length counters)
-    (List.length speedups) (List.length vs_pr1)
+    (List.length speedups) (List.length vs_prev)
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
@@ -601,7 +680,7 @@ let () =
       List.iter (fun (_, f) -> f ()) artifacts;
       run_benchmarks ()
   | [ "bench" ] -> run_benchmarks ()
-  | [ "bench"; "json" ] -> run_benchmarks_json ~path:"BENCH_PR2.json"
+  | [ "bench"; "json" ] -> run_benchmarks_json ~path:"BENCH_PR3.json"
   | [ "bench"; "json"; path ] -> run_benchmarks_json ~path
   | names ->
       List.iter

@@ -190,39 +190,133 @@ let theorems_cmd =
        ~doc:"Exhaustively check Theorems 2/3/5/6/7 on the lattice corpus")
     Term.(const run $ const ())
 
+(* One-shot mode, kept from the original CLI: one formula, the trace
+   inline on the command line. *)
+let monitor_oneshot s trace =
+  match parse_formula s with
+  | Error (`Msg m) -> prerr_endline m; 1
+  | Ok f ->
+      let b = Examples.automaton f in
+      let m = Sl_buchi.Monitor.create b in
+      (match Sl_buchi.Monitor.shortest_bad_prefix b with
+      | None ->
+          Format.printf
+            "property is liveness-only: the monitor is vacuous@."
+      | Some bad ->
+          Format.printf "shortest bad prefix: [%s]@."
+            (String.concat "; " (List.map string_of_int bad)));
+      (match Sl_buchi.Monitor.feed m trace with
+      | Sl_buchi.Monitor.Admissible ->
+          Format.printf "trace admissible@.";
+          0
+      | Sl_buchi.Monitor.Violation bad ->
+          Format.printf "VIOLATION at prefix [%s]@."
+            (String.concat "; " (List.map string_of_int bad));
+          1)
+
+(* Streaming mode: compile a property file once into the registry
+   (malformed lines are reported with file/line and skipped, turning the
+   final exit code nonzero), then pump the trace file or stdin through
+   the batched packed engine and render the verdict report. *)
+let monitor_stream ~props_file ~trace_file ~json =
+  let module Registry = Sl_runtime.Registry in
+  let module Engine = Sl_runtime.Engine in
+  let module Ingest = Sl_runtime.Ingest in
+  let module Verdict = Sl_runtime.Verdict in
+  let alphabet = 2 in
+  let registry = Registry.create ~alphabet () in
+  let prop_errors =
+    let ic = open_in props_file in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> Registry.load_channel registry ~path:props_file ic)
+  in
+  List.iter prerr_endline prop_errors;
+  if Registry.nprops registry = 0 then begin
+    Format.eprintf "%s: no well-formed properties@." props_file;
+    2
+  end
+  else begin
+    let engine = Engine.create ~monitors:(Registry.monitors registry) in
+    let ingest = Ingest.create () in
+    let trace_errors = ref 0 in
+    let source, ic, close =
+      match trace_file with
+      | "-" -> ("<stdin>", stdin, fun () -> ())
+      | f ->
+          let ic = open_in f in
+          (f, ic, fun () -> close_in_noerr ic)
+    in
+    let t0 = Sys.time () in
+    Fun.protect ~finally:close (fun () ->
+        Ingest.read_channel ~alphabet ingest ic
+          ~on_chunk:(fun c ->
+            Engine.feed engine ~n:c.Ingest.len ~traces:c.Ingest.trace_ids
+              ~symbols:c.Ingest.symbols ())
+          ~on_error:(fun ~line msg ->
+            incr trace_errors;
+            Format.eprintf "%s:%d: %s (line skipped)@." source line msg));
+    let elapsed_s = Sys.time () -. t0 in
+    let report =
+      Verdict.make ~registry ~engine ~trace_name:(Ingest.name ingest)
+        ~elapsed_s ()
+    in
+    if json then print_string (Verdict.to_json report)
+    else Verdict.pp_text Format.std_formatter report;
+    if prop_errors <> [] || !trace_errors > 0 then 2
+    else if report.Verdict.counters.Verdict.violations > 0 then 1
+    else 0
+  end
+
 let monitor_cmd =
-  let trace_arg =
+  let formula_opt_arg =
     let doc =
-      "Space-separated symbols (letter indices) of the observed prefix."
+      "LTL formula to monitor (one-shot mode; ignored with $(b,--props))."
+    in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"FORMULA" ~doc)
+  in
+  let trace_pos_arg =
+    let doc =
+      "Space-separated symbols (letter indices) of the observed prefix \
+       (one-shot mode)."
     in
     Arg.(value & pos_right 0 int [] & info [] ~docv:"SYMBOLS" ~doc)
   in
-  let run s trace =
-    match parse_formula s with
-    | Error (`Msg m) -> prerr_endline m; 1
-    | Ok f ->
-        let b = Examples.automaton f in
-        let m = Sl_buchi.Monitor.create b in
-        (match Sl_buchi.Monitor.shortest_bad_prefix b with
-        | None ->
-            Format.printf
-              "property is liveness-only: the monitor is vacuous@."
-        | Some bad ->
-            Format.printf "shortest bad prefix: [%s]@."
-              (String.concat "; " (List.map string_of_int bad)));
-        (match Sl_buchi.Monitor.feed m trace with
-        | Sl_buchi.Monitor.Admissible ->
-            Format.printf "trace admissible@.";
-            0
-        | Sl_buchi.Monitor.Violation bad ->
-            Format.printf "VIOLATION at prefix [%s]@."
-              (String.concat "; " (List.map string_of_int bad));
-            1)
+  let props_arg =
+    let doc =
+      "Property file: one LTL formula per line ('#' comments); each is \
+       compiled once and hash-consed into the monitor registry."
+    in
+    Arg.(value & opt (some file) None & info [ "props" ] ~docv:"FILE" ~doc)
+  in
+  let trace_file_arg =
+    let doc =
+      "Event log in the line protocol 'trace-id symbol', or '-' for \
+       stdin. Events of different traces may interleave."
+    in
+    Arg.(value & opt string "-" & info [ "trace" ] ~docv:"FILE" ~doc)
+  in
+  let json_arg =
+    let doc = "Emit the verdict report as JSON instead of text." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let run props trace_file json formula trace =
+    match (props, formula) with
+    | Some props_file, _ -> monitor_stream ~props_file ~trace_file ~json
+    | None, Some s -> monitor_oneshot s trace
+    | None, None ->
+        Format.eprintf
+          "monitor: need either --props FILE or a positional FORMULA@.";
+        2
   in
   Cmd.v
     (Cmd.info "monitor"
-       ~doc:"Run the runtime monitor of a property's safety part on a trace")
-    Term.(const run $ formula_arg $ trace_arg)
+       ~doc:
+         "Run runtime monitors of properties' safety parts over traces \
+          (streaming with --props/--trace, or one-shot on a formula)")
+    Term.(
+      const run $ props_arg $ trace_file_arg $ json_arg $ formula_opt_arg
+      $ trace_pos_arg)
 
 let regex_cmd =
   let regex_arg =

@@ -39,7 +39,19 @@ let step m symbol =
         m.tripped <- Some (List.rev m.seen));
   verdict m
 
-let feed m word = List.fold_left (fun _ s -> step m s) (verdict m) word
+(* Short-circuit on the first violation: the verdict is irrevocable, so
+   stepping the tripped automaton through the rest of the batch is pure
+   waste. *)
+let rec feed m word =
+  match word with
+  | [] -> verdict m
+  | s :: rest -> (
+      match step m s with
+      | Violation _ as v -> v
+      | Admissible -> feed m rest)
+
+let dfa m = m.dfa
+let empty_property m = m.empty_property
 
 let reset m =
   m.state <- m.dfa.Dfa.start;

@@ -26,10 +26,20 @@ val step : t -> int -> verdict
 (** Feed one symbol. After a [Violation] the monitor stays tripped. *)
 
 val feed : t -> int list -> verdict
-(** Feed many symbols. *)
+(** Feed many symbols; stops at the first [Violation] (the verdict is
+    irrevocable, so the rest of the batch is not stepped). *)
 
 val verdict : t -> verdict
 val reset : t -> unit
+
+val dfa : t -> Sl_nfa.Dfa.t
+(** The compiled monitor automaton: the subset DFA of the safety part's
+    prefix language. Exposed so the runtime registry ([Sl_runtime]) can
+    pack it into flat transition tables without recompiling. *)
+
+val empty_property : t -> bool
+(** The degenerate corner: the property's safety part is empty, so even
+    the empty prefix is bad and {!dfa} is not meaningful. *)
 
 val is_vacuous : t -> bool
 (** The monitor can never trip: the property's safety part is the

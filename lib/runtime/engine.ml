@@ -1,0 +1,188 @@
+type verdict =
+  | Vacuous
+  | Admissible
+  | Violation of { position : int }
+
+type trace = {
+  states : int array;
+  live : int array;
+  mutable nlive : int;
+  mutable events : int;
+  tripped_at : int array;
+}
+
+type t = {
+  monitors : Packed_dfa.t array;
+  alphabet : int;
+  nvacuous : int;
+  npretripped : int;
+  mutable traces : trace option array;
+  mutable ntraces : int;
+  mutable events : int;
+  mutable tripped : int;
+  mutable retired_ok : int;
+}
+
+let create ~monitors =
+  let alphabet =
+    match Array.length monitors with
+    | 0 -> 1
+    | _ ->
+        let a = monitors.(0).Packed_dfa.alphabet in
+        Array.iter
+          (fun pd ->
+            if pd.Packed_dfa.alphabet <> a then
+              invalid_arg "Engine.create: monitors over different alphabets")
+          monitors;
+        a
+  in
+  let nvacuous = ref 0 and npretripped = ref 0 in
+  Array.iter
+    (fun pd ->
+      if pd.Packed_dfa.vacuous then incr nvacuous;
+      if pd.Packed_dfa.pre_tripped then incr npretripped)
+    monitors;
+  { monitors; alphabet; nvacuous = !nvacuous; npretripped = !npretripped;
+    traces = Array.make 4 None; ntraces = 0; events = 0; tripped = 0;
+    retired_ok = 0 }
+
+(* (Re)initialize a trace record in place: every non-vacuous monitor
+   starts live in the packed start state, except pre-tripped (empty
+   property) monitors, which are born violated at position 0. *)
+let init_trace eng (tr : trace) =
+  tr.nlive <- 0;
+  tr.events <- 0;
+  Array.iteri
+    (fun m pd ->
+      tr.states.(m) <- Packed_dfa.start;
+      if pd.Packed_dfa.pre_tripped then begin
+        tr.tripped_at.(m) <- 0;
+        eng.tripped <- eng.tripped + 1
+      end
+      else begin
+        tr.tripped_at.(m) <- -1;
+        if not pd.Packed_dfa.vacuous then begin
+          tr.live.(tr.nlive) <- m;
+          tr.nlive <- tr.nlive + 1
+        end
+      end)
+    eng.monitors
+
+let mk_trace eng =
+  let m = Array.length eng.monitors in
+  let tr =
+    { states = Array.make (max m 1) 0; live = Array.make (max m 1) 0;
+      nlive = 0; events = 0; tripped_at = Array.make (max m 1) (-1) }
+  in
+  init_trace eng tr;
+  tr
+
+let get_trace eng id =
+  if id < 0 then invalid_arg "Engine: negative trace id";
+  if id >= Array.length eng.traces then begin
+    let cap = max (2 * Array.length eng.traces) (id + 1) in
+    let a = Array.make cap None in
+    Array.blit eng.traces 0 a 0 (Array.length eng.traces);
+    eng.traces <- a
+  end;
+  match eng.traces.(id) with
+  | Some tr -> tr
+  | None ->
+      let tr = mk_trace eng in
+      eng.traces.(id) <- Some tr;
+      if id >= eng.ntraces then eng.ntraces <- id + 1;
+      tr
+
+(* The per-event hot path: step every live monitor of the trace through
+   the packed table; trip (and retire) on a rejecting state, retire as
+   admissible-forever when no rejecting state is reachable anymore.
+   Retirement is a swap-remove on the compact live list — no allocation
+   anywhere on this path. *)
+let step_trace eng (tr : trace) symbol =
+  tr.events <- tr.events + 1;
+  eng.events <- eng.events + 1;
+  let i = ref 0 in
+  while !i < tr.nlive do
+    let m = Array.unsafe_get tr.live !i in
+    let pd = Array.unsafe_get eng.monitors m in
+    let s' =
+      Array.unsafe_get pd.Packed_dfa.trans
+        ((Array.unsafe_get tr.states m * pd.Packed_dfa.alphabet) + symbol)
+    in
+    if not (Array.unsafe_get pd.Packed_dfa.accepting s') then begin
+      Array.unsafe_set tr.tripped_at m tr.events;
+      eng.tripped <- eng.tripped + 1;
+      tr.nlive <- tr.nlive - 1;
+      Array.unsafe_set tr.live !i (Array.unsafe_get tr.live tr.nlive)
+    end
+    else begin
+      Array.unsafe_set tr.states m s';
+      if Array.unsafe_get pd.Packed_dfa.can_trip s' then incr i
+      else begin
+        eng.retired_ok <- eng.retired_ok + 1;
+        tr.nlive <- tr.nlive - 1;
+        Array.unsafe_set tr.live !i (Array.unsafe_get tr.live tr.nlive)
+      end
+    end
+  done
+
+let check_symbol eng symbol =
+  if symbol < 0 || symbol >= eng.alphabet then
+    invalid_arg
+      (Printf.sprintf "Engine: symbol %d outside alphabet [0, %d)" symbol
+         eng.alphabet)
+
+let step eng ~trace ~symbol =
+  check_symbol eng symbol;
+  step_trace eng (get_trace eng trace) symbol
+
+let feed eng ?(off = 0) ~n ~traces ~symbols () =
+  if off < 0 || n < 0 || off + n > Array.length traces
+     || off + n > Array.length symbols
+  then invalid_arg "Engine.feed: bad chunk bounds";
+  for k = off to off + n - 1 do
+    let symbol = Array.unsafe_get symbols k in
+    check_symbol eng symbol;
+    step_trace eng (get_trace eng (Array.unsafe_get traces k)) symbol
+  done
+
+let reset eng =
+  eng.events <- 0;
+  eng.tripped <- 0;
+  eng.retired_ok <- 0;
+  Array.iter
+    (function Some tr -> init_trace eng tr | None -> ())
+    eng.traces
+
+let nmonitors eng = Array.length eng.monitors
+let ntraces eng = eng.ntraces
+let events eng = eng.events
+let tripped eng = eng.tripped
+let retired_admissible eng = eng.retired_ok
+let nvacuous eng = eng.nvacuous
+
+let live eng =
+  let n = ref 0 in
+  Array.iter (function Some tr -> n := !n + tr.nlive | None -> ()) eng.traces;
+  !n
+
+let trace_events eng id =
+  if id < 0 || id >= Array.length eng.traces then 0
+  else match eng.traces.(id) with Some tr -> tr.events | None -> 0
+
+let verdict eng ~trace ~monitor =
+  let pd = eng.monitors.(monitor) in
+  let fresh () =
+    if pd.Packed_dfa.vacuous then Vacuous
+    else if pd.Packed_dfa.pre_tripped then Violation { position = 0 }
+    else Admissible
+  in
+  if trace < 0 || trace >= Array.length eng.traces then fresh ()
+  else
+    match eng.traces.(trace) with
+    | None -> fresh ()
+    | Some tr ->
+        if pd.Packed_dfa.vacuous then Vacuous
+        else if tr.tripped_at.(monitor) >= 0 then
+          Violation { position = tr.tripped_at.(monitor) }
+        else Admissible

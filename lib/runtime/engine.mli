@@ -1,0 +1,68 @@
+(** The streaming monitoring engine: M compiled monitors over N
+    concurrent traces.
+
+    Per-trace monitor state is packed in [int array]s (one current DFA
+    state per distinct monitor, a compact live list, a trip-position
+    array); the per-event step is a flat-array walk over the live
+    monitors with no allocation. Monitors retire early — on trip
+    (violation is irrevocable), and as admissible-forever once no
+    rejecting state is reachable from their current state; vacuous
+    (pure-liveness) monitors never enter the live list at all. *)
+
+type verdict =
+  | Vacuous
+      (** the property's safety part is universal: no finite prefix can
+          ever be rejected (unmonitorable liveness) *)
+  | Admissible  (** no bad prefix seen (so far, or provably ever) *)
+  | Violation of { position : int }
+      (** tripped at the [position]-th event of the trace (1-based; [0]
+          for the empty property, whose empty prefix is already bad) *)
+
+type t
+
+val create : monitors:Packed_dfa.t array -> t
+(** All monitors must share an alphabet (the registry guarantees this).
+    @raise Invalid_argument otherwise. *)
+
+val step : t -> trace:int -> symbol:int -> unit
+(** Feed one event. Trace ids are dense nonnegative ints (see
+    [Ingest]); a fresh id allocates its packed state block on first
+    use. @raise Invalid_argument if the symbol is outside the
+    alphabet. *)
+
+val feed :
+  t -> ?off:int -> n:int -> traces:int array -> symbols:int array ->
+  unit -> unit
+(** Batched ingestion of [n] events from parallel arrays
+    [traces.(off..)] / [symbols.(off..)] — the chunk shape produced by
+    [Ingest]. Equivalent to [n] calls to {!step}, without per-event
+    call/option overhead. *)
+
+val verdict : t -> trace:int -> monitor:int -> verdict
+(** Current verdict of a distinct monitor on a trace (never-seen traces
+    report the fresh verdict). Property-level verdicts go through
+    [Registry.monitor_of_prop]. *)
+
+val reset : t -> unit
+(** Reset all known traces to the initial state, in place (no
+    allocation); counters restart from zero. *)
+
+(** {1 Metrics counters} *)
+
+val nmonitors : t -> int
+val ntraces : t -> int
+val events : t -> int
+(** Events ingested since creation/reset. *)
+
+val trace_events : t -> int -> int
+val live : t -> int
+(** Live (still undecided) monitor instances across all traces. *)
+
+val tripped : t -> int
+(** Monitor instances retired by violation. *)
+
+val retired_admissible : t -> int
+(** Monitor instances retired admissible-forever. *)
+
+val nvacuous : t -> int
+(** Vacuous monitors (per trace; they are never instantiated live). *)

@@ -1,0 +1,116 @@
+(* Trace ingestion: the line protocol is one event per line,
+
+     trace-id symbol
+
+   where trace-id is any whitespace-free token and symbol a letter index
+   in [0, alphabet). Blank lines and '#' comments are skipped. Trace ids
+   are interned to the dense ints the engine indexes by. *)
+
+type t = {
+  tbl : (string, int) Hashtbl.t;
+  mutable names : string array;
+  mutable n : int;
+}
+
+let create () = { tbl = Hashtbl.create 64; names = [||]; n = 0 }
+
+let ntraces t = t.n
+
+let name t id =
+  if id < 0 || id >= t.n then invalid_arg "Ingest.name";
+  t.names.(id)
+
+let intern t s =
+  match Hashtbl.find_opt t.tbl s with
+  | Some id -> id
+  | None ->
+      if t.n = Array.length t.names then begin
+        let cap = max 8 (2 * t.n) in
+        let a = Array.make cap s in
+        Array.blit t.names 0 a 0 t.n;
+        t.names <- a
+      end;
+      let id = t.n in
+      t.names.(id) <- s;
+      t.n <- id + 1;
+      Hashtbl.add t.tbl s id;
+      id
+
+let is_space c = c = ' ' || c = '\t' || c = '\r'
+
+let split_fields s =
+  let n = String.length s in
+  let fields = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    while !i < n && is_space s.[!i] do incr i done;
+    if !i < n then begin
+      let start = !i in
+      while !i < n && not (is_space s.[!i]) do incr i done;
+      fields := String.sub s start (!i - start) :: !fields
+    end
+  done;
+  List.rev !fields
+
+let parse_line line =
+  match split_fields line with
+  | [] -> `Skip
+  | field :: _ when String.length field > 0 && field.[0] = '#' -> `Skip
+  | [ trace; sym ] -> (
+      match int_of_string_opt sym with
+      | Some symbol when symbol >= 0 -> `Event (trace, symbol)
+      | Some _ -> `Malformed "negative symbol"
+      | None -> `Malformed (Printf.sprintf "symbol %S is not an integer" sym))
+  | [ _ ] -> `Malformed "expected \"trace-id symbol\", got one field"
+  | _ -> `Malformed "expected \"trace-id symbol\", got extra fields"
+
+type chunk = {
+  mutable len : int;
+  trace_ids : int array;
+  symbols : int array;
+}
+
+let create_chunk size =
+  if size <= 0 then invalid_arg "Ingest.create_chunk";
+  { len = 0; trace_ids = Array.make size 0; symbols = Array.make size 0 }
+
+(* Pull-based core so tests can drive it from a list; [read_channel]
+   wraps an [in_channel]. The single chunk buffer is reused across
+   flushes — steady-state ingestion allocates only on new trace ids. *)
+let read ?(chunk_size = 4096) ~alphabet t ~next_line ~on_chunk ~on_error =
+  let chunk = create_chunk chunk_size in
+  let flush () =
+    if chunk.len > 0 then begin
+      on_chunk chunk;
+      chunk.len <- 0
+    end
+  in
+  let lineno = ref 0 in
+  let continue = ref true in
+  while !continue do
+    match next_line () with
+    | None -> continue := false
+    | Some line -> (
+        incr lineno;
+        match parse_line line with
+        | `Skip -> ()
+        | `Malformed msg -> on_error ~line:!lineno msg
+        | `Event (_, symbol) when symbol >= alphabet ->
+            on_error ~line:!lineno
+              (Printf.sprintf "symbol %d outside alphabet [0, %d)" symbol
+                 alphabet)
+        | `Event (trace, symbol) ->
+            chunk.trace_ids.(chunk.len) <- intern t trace;
+            chunk.symbols.(chunk.len) <- symbol;
+            chunk.len <- chunk.len + 1;
+            if chunk.len = chunk_size then flush ())
+  done;
+  flush ()
+
+let read_channel ?chunk_size ~alphabet t ic ~on_chunk ~on_error =
+  read ?chunk_size ~alphabet t
+    ~next_line:(fun () ->
+      match input_line ic with
+      | line -> Some line
+      | exception End_of_file -> None)
+    ~on_chunk ~on_error

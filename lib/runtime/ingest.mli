@@ -1,0 +1,47 @@
+(** Trace ingestion front end: the [trace-id symbol] line protocol.
+
+    One event per line: a whitespace-free trace id followed by a symbol
+    (letter index). Blank lines and ['#'] comments are skipped;
+    malformed lines are reported with their 1-based line number and
+    skipped. Events are delivered to the engine in reusable batched
+    chunks of parallel [int array]s. *)
+
+type t
+(** The trace-id interner: string ids to the dense ints the engine
+    indexes traces by, in first-seen order. *)
+
+val create : unit -> t
+val ntraces : t -> int
+val name : t -> int -> string
+val intern : t -> string -> int
+
+val parse_line :
+  string ->
+  [ `Event of string * int  (** trace id, nonnegative symbol *)
+  | `Skip  (** blank or comment *)
+  | `Malformed of string ]
+
+type chunk = {
+  mutable len : int;
+  trace_ids : int array;
+  symbols : int array;
+}
+(** Parallel arrays; entries [0 .. len-1] are valid. The same chunk
+    value is reused across [on_chunk] calls — consume before
+    returning. *)
+
+val create_chunk : int -> chunk
+
+val read :
+  ?chunk_size:int -> alphabet:int -> t ->
+  next_line:(unit -> string option) -> on_chunk:(chunk -> unit) ->
+  on_error:(line:int -> string -> unit) -> unit
+(** Pull lines until [next_line] returns [None], batching valid events
+    into chunks (default size 4096) and reporting malformed or
+    out-of-alphabet lines to [on_error]. *)
+
+val read_channel :
+  ?chunk_size:int -> alphabet:int -> t -> in_channel ->
+  on_chunk:(chunk -> unit) -> on_error:(line:int -> string -> unit) ->
+  unit
+(** {!read} over a channel ([stdin] or an opened trace file). *)

@@ -1,0 +1,118 @@
+module Dfa = Sl_nfa.Dfa
+module Digraph = Sl_core.Digraph
+module Monitor = Sl_buchi.Monitor
+
+type t = {
+  alphabet : int;
+  nstates : int;
+  trans : int array;
+  accepting : bool array;
+  can_trip : bool array;
+  pre_tripped : bool;
+  vacuous : bool;
+  key : string;
+}
+
+let start = 0
+
+(* BFS renumbering from the start, trying symbols in ascending order.
+   On a minimal DFA (unique up to isomorphism, every state reachable)
+   this yields the canonical state numbering: language-equal monitors
+   compile to identical packed tables, which is what lets the registry
+   hash-cons them by [key]. *)
+let canonical_order (d : Dfa.t) =
+  let order = Array.make d.Dfa.nstates (-1) in
+  let queue = Queue.create () in
+  let next = ref 0 in
+  order.(d.Dfa.start) <- 0;
+  incr next;
+  Queue.push d.Dfa.start queue;
+  while not (Queue.is_empty queue) do
+    let q = Queue.pop queue in
+    Array.iter
+      (fun q' ->
+        if order.(q') = -1 then begin
+          order.(q') <- !next;
+          incr next;
+          Queue.push q' queue
+        end)
+      d.Dfa.delta.(q)
+  done;
+  order
+
+let key_of ~alphabet ~trans ~accepting =
+  let buf = Buffer.create (16 + (4 * Array.length trans)) in
+  Buffer.add_string buf (string_of_int alphabet);
+  Array.iter
+    (fun q ->
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf (string_of_int q))
+    trans;
+  Array.iter (fun a -> Buffer.add_char buf (if a then '*' else '.')) accepting;
+  Buffer.contents buf
+
+let pack (d : Dfa.t) =
+  let d = Dfa.minimize d in
+  (* [minimize] keeps exactly the reachable classes, so the BFS order is
+     total over the states. *)
+  let order = canonical_order d in
+  let n = d.Dfa.nstates in
+  let alphabet = d.Dfa.alphabet in
+  let trans = Array.make (n * alphabet) 0 in
+  let accepting = Array.make n false in
+  Array.iteri
+    (fun q nq ->
+      accepting.(nq) <- d.Dfa.accepting.(q);
+      Array.iteri
+        (fun s q' -> trans.((nq * alphabet) + s) <- order.(q'))
+        d.Dfa.delta.(q))
+    order;
+  (* A monitor can still trip in state q iff some rejecting state is
+     reachable from q (backward reachability on the packed graph). Once
+     that fails the monitor is admissible forever and the engine retires
+     it. Vacuity (a pure-liveness property: the safety part is universal)
+     is the special case at the start state. *)
+  let delta2 =
+    Array.init n (fun q ->
+        Array.init alphabet (fun s -> trans.((q * alphabet) + s)))
+  in
+  let g = Digraph.of_array_delta delta2 in
+  let can_trip =
+    Digraph.reachable_from (Digraph.reverse g) (Array.map not accepting)
+  in
+  let pre_tripped = not accepting.(0) in
+  let vacuous = accepting.(0) && not can_trip.(0) in
+  { alphabet; nstates = n; trans; accepting; can_trip; pre_tripped; vacuous;
+    key = key_of ~alphabet ~trans ~accepting }
+
+(* The empty property: even the empty prefix is bad. The prefix DFA the
+   monitor pipeline produces is not meaningful in this corner
+   ([Buchi.to_prefix_nfa] marks all states of the trimmed-empty automaton
+   accepting), so all empty properties share one canonical one-state
+   rejecting table. *)
+let empty ~alphabet =
+  let trans = Array.make alphabet 0 in
+  let accepting = [| false |] in
+  { alphabet; nstates = 1; trans; accepting; can_trip = [| true |];
+    pre_tripped = true; vacuous = false;
+    key = key_of ~alphabet ~trans ~accepting }
+
+let of_monitor m =
+  let dfa = Monitor.dfa m in
+  if Monitor.empty_property m then empty ~alphabet:dfa.Dfa.alphabet
+  else pack dfa
+
+let of_buchi b = of_monitor (Monitor.create b)
+
+let of_dfa = pack
+
+let step pd q symbol = pd.trans.((q * pd.alphabet) + symbol)
+let is_accepting pd q = pd.accepting.(q)
+let can_trip pd q = pd.can_trip.(q)
+let key pd = pd.key
+
+let pp fmt pd =
+  Format.fprintf fmt "packed-dfa(%d states, alphabet %d%s%s)" pd.nstates
+    pd.alphabet
+    (if pd.vacuous then ", vacuous" else "")
+    (if pd.pre_tripped then ", pre-tripped" else "")

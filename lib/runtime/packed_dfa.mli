@@ -1,0 +1,48 @@
+(** Compiled safety monitors in packed transition-table form.
+
+    A monitor DFA (the subset automaton of the safety part's prefix
+    language, see [Sl_buchi.Monitor]) is minimized, renumbered into the
+    canonical BFS order, and flattened into a single [int array] indexed
+    by [state * alphabet + symbol] — one array read per event, no
+    per-step allocation. Because the minimal DFA is unique up to
+    isomorphism and the BFS numbering fixes the isomorphism,
+    language-equal monitors pack to {e identical} tables; {!key} exposes
+    that identity so the registry can hash-cons monitors across
+    properties. *)
+
+type t = private {
+  alphabet : int;
+  nstates : int;
+  trans : int array;  (** [trans.(q * alphabet + s)] is the successor *)
+  accepting : bool array;
+  can_trip : bool array;
+      (** a rejecting state is reachable from here; once false the
+          monitor is admissible forever and can be retired *)
+  pre_tripped : bool;
+      (** the empty prefix is already bad (the empty property) *)
+  vacuous : bool;
+      (** the monitor can never trip: the property's safety part is
+          universal, i.e. the property is pure liveness *)
+  key : string;  (** canonical identity for hash-consing *)
+}
+
+val start : int
+(** Packed monitors always start in state [0]. *)
+
+val of_buchi : Sl_buchi.Buchi.t -> t
+(** Compile the monitor of a property automaton's safety part
+    ([Monitor.create] then {!of_monitor}). *)
+
+val of_monitor : Sl_buchi.Monitor.t -> t
+(** Pack an already-compiled monitor's DFA. *)
+
+val of_dfa : Sl_nfa.Dfa.t -> t
+(** Pack an arbitrary prefix DFA (minimizes and canonicalizes first). *)
+
+val step : t -> int -> int -> int
+(** [step pd q s] is the packed successor lookup. *)
+
+val is_accepting : t -> int -> bool
+val can_trip : t -> int -> bool
+val key : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,107 @@
+module Formula = Sl_ltl.Formula
+module Translate = Sl_ltl.Translate
+
+type prop = {
+  id : int;
+  name : string;
+  formula : Formula.t option;
+  monitor : int;
+}
+
+type t = {
+  alphabet : int;
+  valuation : int -> string -> bool;
+  mutable props : prop array;
+  mutable nprops : int;
+  mutable monitors : Packed_dfa.t array;
+  mutable nmonitors : int;
+  keys : (string, int) Hashtbl.t;
+  mutable hits : int;
+}
+
+let default_valuation symbol p = String.equal p "a" && symbol = 0
+
+let create ?(alphabet = 2) ?(valuation = default_valuation) () =
+  if alphabet <= 0 then invalid_arg "Registry.create: alphabet must be > 0";
+  { alphabet; valuation; props = [||]; nprops = 0; monitors = [||];
+    nmonitors = 0; keys = Hashtbl.create 64; hits = 0 }
+
+let nprops t = t.nprops
+let nmonitors t = t.nmonitors
+let hits t = t.hits
+let prop t i = t.props.(i)
+let monitor_of_prop t i = t.props.(i).monitor
+let monitors t = Array.sub t.monitors 0 t.nmonitors
+let props t = Array.to_list (Array.sub t.props 0 t.nprops)
+
+let push_prop t p =
+  if t.nprops = Array.length t.props then begin
+    let cap = max 8 (2 * t.nprops) in
+    let a = Array.make cap p in
+    Array.blit t.props 0 a 0 t.nprops;
+    t.props <- a
+  end;
+  t.props.(t.nprops) <- p;
+  t.nprops <- t.nprops + 1
+
+let intern_monitor t pd =
+  match Hashtbl.find_opt t.keys (Packed_dfa.key pd) with
+  | Some id ->
+      t.hits <- t.hits + 1;
+      id
+  | None ->
+      if t.nmonitors = Array.length t.monitors then begin
+        let cap = max 8 (2 * t.nmonitors) in
+        let a = Array.make cap pd in
+        Array.blit t.monitors 0 a 0 t.nmonitors;
+        t.monitors <- a
+      end;
+      let id = t.nmonitors in
+      t.monitors.(id) <- pd;
+      t.nmonitors <- id + 1;
+      Hashtbl.add t.keys (Packed_dfa.key pd) id;
+      id
+
+let add_buchi t ~name b =
+  let monitor = intern_monitor t (Packed_dfa.of_buchi b) in
+  let id = t.nprops in
+  push_prop t { id; name; formula = None; monitor };
+  id
+
+let add_formula t ?name f =
+  let name = match name with Some n -> n | None -> Formula.to_string f in
+  let b = Translate.translate ~alphabet:t.alphabet ~valuation:t.valuation f in
+  let monitor = intern_monitor t (Packed_dfa.of_buchi b) in
+  let id = t.nprops in
+  push_prop t { id; name; formula = Some f; monitor };
+  id
+
+(* Property-file loading. One LTL formula per line; blank lines and
+   '#'-comments are skipped. A malformed line is reported with its
+   file/line position and skipped — one bad property must not abort the
+   whole monitoring run (the CLI turns a non-empty error list into a
+   nonzero exit code). *)
+let load_lines t ?(path = "<props>") lines =
+  let errors = ref [] in
+  List.iteri
+    (fun i raw ->
+      let s = String.trim raw in
+      if String.length s > 0 && s.[0] <> '#' then
+        match Formula.parse s with
+        | Ok f -> ignore (add_formula t ~name:s f)
+        | Error e ->
+            errors :=
+              Printf.sprintf "%s:%d: parse error: %s (line skipped)" path
+                (i + 1) e
+              :: !errors)
+    lines;
+  List.rev !errors
+
+let load_channel t ?path ic =
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> ());
+  load_lines t ?path (List.rev !lines)

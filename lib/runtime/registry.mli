@@ -1,0 +1,50 @@
+(** Compile-once monitor registry.
+
+    Each property is parsed/translated/decomposed once and its safety
+    part compiled to a {!Packed_dfa.t}; the canonical packed key
+    hash-conses language-equal monitors, so properties whose safety
+    parts coincide share one compiled table and the streaming engine
+    steps it once per event regardless of how many properties ride on
+    it. *)
+
+type prop = {
+  id : int;  (** dense property index, in insertion order *)
+  name : string;  (** source text (or caller-supplied label) *)
+  formula : Sl_ltl.Formula.t option;  (** [None] for automaton-sourced *)
+  monitor : int;  (** index into {!monitors} *)
+}
+
+type t
+
+val create :
+  ?alphabet:int -> ?valuation:(int -> string -> bool) -> unit -> t
+(** Defaults: alphabet 2 with symbol 0 meaning the proposition [a]
+    holds — the convention of the CLI and the Section 2.3 examples. *)
+
+val add_formula : t -> ?name:string -> Sl_ltl.Formula.t -> int
+(** Translate, decompose, compile, hash-cons; returns the property id. *)
+
+val add_buchi : t -> name:string -> Sl_buchi.Buchi.t -> int
+(** Register a property given directly as a Büchi automaton. *)
+
+val load_lines : t -> ?path:string -> string list -> string list
+(** Load a property file given as lines: one LTL formula per line, blank
+    lines and ['#'] comments skipped. Returns human-readable
+    ["path:line: parse error: ..."] messages for malformed lines, which
+    are skipped rather than aborting the load. *)
+
+val load_channel : t -> ?path:string -> in_channel -> string list
+(** {!load_lines} over a channel read to end-of-file. *)
+
+val nprops : t -> int
+val nmonitors : t -> int
+(** Distinct compiled monitors (≤ {!nprops}). *)
+
+val hits : t -> int
+(** Hash-cons hits: properties that reused an existing monitor. *)
+
+val prop : t -> int -> prop
+val props : t -> prop list
+val monitor_of_prop : t -> int -> int
+val monitors : t -> Packed_dfa.t array
+(** Snapshot of the compiled monitor table, for {!Engine.create}. *)

@@ -1,0 +1,187 @@
+type counters = {
+  traces : int;
+  events : int;
+  props : int;
+  distinct_monitors : int;
+  vacuous_props : int;
+  violations : int;
+  live : int;
+  tripped : int;
+  retired_admissible : int;
+  events_per_s : float option;
+}
+
+type prop_summary = {
+  prop : Registry.prop;
+  vacuous : bool;
+  trips : int;
+}
+
+type row = {
+  trace : string;
+  trace_events : int;
+  verdicts : (Registry.prop * Engine.verdict) list;
+}
+
+type report = {
+  counters : counters;
+  prop_summaries : prop_summary list;
+  rows : row list;
+}
+
+let make ~registry ~engine ~trace_name ?elapsed_s () =
+  let props = Registry.props registry in
+  let ntr = Engine.ntraces engine in
+  let rows =
+    List.init ntr (fun tr ->
+        { trace = trace_name tr;
+          trace_events = Engine.trace_events engine tr;
+          verdicts =
+            List.map
+              (fun (p : Registry.prop) ->
+                (p, Engine.verdict engine ~trace:tr ~monitor:p.Registry.monitor))
+              props })
+  in
+  let prop_summaries =
+    List.map
+      (fun (p : Registry.prop) ->
+        let vacuous =
+          (Registry.monitors registry).(p.Registry.monitor).Packed_dfa.vacuous
+        in
+        let trips =
+          List.fold_left
+            (fun acc row ->
+              match List.assq p row.verdicts with
+              | Engine.Violation _ -> acc + 1
+              | _ -> acc)
+            0 rows
+        in
+        { prop = p; vacuous; trips })
+      props
+  in
+  let violations =
+    List.fold_left (fun acc s -> acc + s.trips) 0 prop_summaries
+  in
+  let events = Engine.events engine in
+  let counters =
+    { traces = ntr; events; props = Registry.nprops registry;
+      distinct_monitors = Registry.nmonitors registry;
+      vacuous_props =
+        List.length (List.filter (fun s -> s.vacuous) prop_summaries);
+      violations; live = Engine.live engine; tripped = Engine.tripped engine;
+      retired_admissible = Engine.retired_admissible engine;
+      events_per_s =
+        (match elapsed_s with
+        | Some dt when dt > 0. -> Some (float_of_int events /. dt)
+        | _ -> None) }
+  in
+  { counters; prop_summaries; rows }
+
+let verdict_to_string = function
+  | Engine.Vacuous -> "vacuous"
+  | Engine.Admissible -> "admissible"
+  | Engine.Violation { position } ->
+      Printf.sprintf "VIOLATION at event %d" position
+
+let pp_text fmt r =
+  let c = r.counters in
+  Format.fprintf fmt "@[<v>props: %d loaded, %d distinct monitor(s), %d \
+                      vacuous (pure liveness)@,"
+    c.props c.distinct_monitors c.vacuous_props;
+  List.iter
+    (fun s ->
+      if s.vacuous then
+        Format.fprintf fmt "  unmonitorable (liveness): %s@,"
+          s.prop.Registry.name)
+    r.prop_summaries;
+  List.iter
+    (fun row ->
+      let nviol =
+        List.length
+          (List.filter
+             (fun (_, v) ->
+               match v with Engine.Violation _ -> true | _ -> false)
+             row.verdicts)
+      in
+      Format.fprintf fmt "trace %s: %d event(s), %d violation(s)@."
+        row.trace row.trace_events nviol;
+      List.iter
+        (fun ((p : Registry.prop), v) ->
+          match v with
+          | Engine.Violation { position } ->
+              Format.fprintf fmt "  VIOLATION %s at event %d@."
+                p.Registry.name position
+          | _ -> ())
+        row.verdicts)
+    r.rows;
+  Format.fprintf fmt
+    "summary: traces=%d events=%d props=%d monitors=%d violations=%d \
+     vacuous=%d live=%d tripped=%d retired_admissible=%d%s@]@."
+    c.traces c.events c.props c.distinct_monitors c.violations
+    c.vacuous_props c.live c.tripped c.retired_admissible
+    (match c.events_per_s with
+    | Some r -> Printf.sprintf " events_per_s=%.0f" r
+    | None -> "")
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | ch when Char.code ch < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code ch))
+      | ch -> Buffer.add_char buf ch)
+    s;
+  Buffer.contents buf
+
+let verdict_json = function
+  | Engine.Vacuous -> {|{"verdict": "vacuous"}|}
+  | Engine.Admissible -> {|{"verdict": "admissible"}|}
+  | Engine.Violation { position } ->
+      Printf.sprintf {|{"verdict": "violation", "position": %d}|} position
+
+let to_json r =
+  let buf = Buffer.create 1024 in
+  let p fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let c = r.counters in
+  p "{\n";
+  p "  \"schema\": \"sl-monitor-report/1\",\n";
+  p "  \"counters\": {\"traces\": %d, \"events\": %d, \"props\": %d, \
+     \"distinct_monitors\": %d, \"violations\": %d, \"vacuous\": %d, \
+     \"live\": %d, \"tripped\": %d, \"retired_admissible\": %d%s},\n"
+    c.traces c.events c.props c.distinct_monitors c.violations
+    c.vacuous_props c.live c.tripped c.retired_admissible
+    (match c.events_per_s with
+    | Some r -> Printf.sprintf ", \"events_per_s\": %.1f" r
+    | None -> "");
+  p "  \"props\": [\n";
+  List.iteri
+    (fun i s ->
+      p "    {\"name\": \"%s\", \"monitor\": %d, \"vacuous\": %b, \
+         \"trips\": %d}%s\n"
+        (json_escape s.prop.Registry.name)
+        s.prop.Registry.monitor s.vacuous s.trips
+        (if i = List.length r.prop_summaries - 1 then "" else ","))
+    r.prop_summaries;
+  p "  ],\n";
+  p "  \"traces\": [\n";
+  List.iteri
+    (fun i row ->
+      p "    {\"name\": \"%s\", \"events\": %d, \"verdicts\": [%s]}%s\n"
+        (json_escape row.trace) row.trace_events
+        (String.concat ", "
+           (List.map
+              (fun ((pr : Registry.prop), v) ->
+                Printf.sprintf {|{"prop": "%s", %s|}
+                  (json_escape pr.Registry.name)
+                  (* splice the verdict fields into the same object *)
+                  (let s = verdict_json v in
+                   String.sub s 1 (String.length s - 1)))
+              row.verdicts))
+        (if i = List.length r.rows - 1 then "" else ","))
+    r.rows;
+  p "  ]\n";
+  p "}\n";
+  Buffer.contents buf

@@ -1,0 +1,53 @@
+(** The verdict/metrics layer: structured per-(trace, property) verdicts
+    plus engine counters, renderable as text or JSON.
+
+    Verdicts come in three flavours, mirroring the theory: a violation
+    carries the shortest-bad-prefix position (safety refuted at a finite
+    point); admissible means no bad prefix (yet, or provably ever);
+    vacuous marks pure-liveness properties whose safety part is
+    universal — Schneider's unmonitorable case. *)
+
+type counters = {
+  traces : int;
+  events : int;  (** events ingested *)
+  props : int;
+  distinct_monitors : int;  (** after hash-consing *)
+  vacuous_props : int;
+  violations : int;  (** (trace, property) violation pairs *)
+  live : int;  (** live monitor instances across traces *)
+  tripped : int;  (** monitor instances retired by violation *)
+  retired_admissible : int;  (** retired admissible-forever *)
+  events_per_s : float option;  (** when an elapsed time was supplied *)
+}
+
+type prop_summary = {
+  prop : Registry.prop;
+  vacuous : bool;
+  trips : int;  (** traces on which this property tripped *)
+}
+
+type row = {
+  trace : string;
+  trace_events : int;
+  verdicts : (Registry.prop * Engine.verdict) list;
+}
+
+type report = {
+  counters : counters;
+  prop_summaries : prop_summary list;
+  rows : row list;
+}
+
+val make :
+  registry:Registry.t -> engine:Engine.t -> trace_name:(int -> string) ->
+  ?elapsed_s:float -> unit -> report
+
+val verdict_to_string : Engine.verdict -> string
+
+val pp_text : Format.formatter -> report -> unit
+(** Human-readable rendering; ends with a stable one-line
+    [summary: traces=... events=...] record (CI greps it). *)
+
+val to_json : report -> string
+(** Schema [sl-monitor-report/1]; hand-rolled like the bench trajectory
+    writer, no JSON dependency. *)

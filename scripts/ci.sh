@@ -1,8 +1,8 @@
 #!/bin/sh
 # CI smoke: build everything (library, CLI, examples, bench harness),
 # run the full test suite, run every example program, exercise the CLI,
-# then regenerate the benchmark trajectory JSON (writes BENCH_PR2.json
-# at the repo root, with ratios against the tracked BENCH_PR1.json).
+# then regenerate the benchmark trajectory JSON (writes BENCH_PR3.json
+# at the repo root, with ratios against the tracked BENCH_PR2.json).
 # Run from the repository root.
 set -eu
 
@@ -20,6 +20,19 @@ done
 dune exec bin/slc.exe -- classify "a & F !a" > /dev/null
 dune exec bin/slc.exe -- stats "G (a -> F !a)" > /dev/null
 dune exec bin/slc.exe -- theorems > /dev/null
+
+# Runtime-monitoring smoke: the checked-in example props/trace pair must
+# produce exactly this verdict summary, with exit code 1 (violations
+# found, inputs well-formed).
+echo "--- slc monitor smoke"
+status=0
+out=$(dune exec bin/slc.exe -- monitor --props examples/monitor.props \
+        --trace examples/monitor.events) || status=$?
+[ "$status" -eq 1 ]
+echo "$out" | grep -q \
+  "summary: traces=2 events=7 props=5 monitors=3 violations=3 vacuous=2 live=1 tripped=2 retired_admissible=1"
+echo "$out" | grep -q "VIOLATION G (a -> X !a) at event 4"
+echo "$out" | grep -Fq 'props: 5 loaded, 3 distinct monitor(s), 2 vacuous'
 
 # Bench smoke + perf trajectory.
 dune exec bench/main.exe -- bench json

@@ -16,6 +16,7 @@ let () =
       ("topology", Test_topology.tests);
       ("mu", Test_mu.tests);
       ("regex", Test_regex.tests);
+      ("runtime", Test_runtime.tests);
       ("acceptance", Test_acceptance.tests);
       ("properties", Test_properties.tests);
       ("integration", Test_integration.tests) ]
