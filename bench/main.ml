@@ -4,7 +4,7 @@
      dune exec bench/main.exe              # all artifacts + all timings
      dune exec bench/main.exe ARTIFACT     # one artifact, no timings
      dune exec bench/main.exe bench        # timings only
-     dune exec bench/main.exe bench json   # timings -> BENCH_PR3.json
+     dune exec bench/main.exe bench json   # timings -> BENCH_PR4.json
 
    Artifacts (the paper's figures/tables, regenerated from scratch; see
    EXPERIMENTS.md for the mapping): fig1 fig2 rem ctl rabin
@@ -16,11 +16,13 @@
    complementation, translation, model checking) and of the two ablations
    called out in DESIGN.md §5.
 
-   [bench json] additionally writes the estimates to BENCH_PR3.json
-   together with automaton-size counters, speedups against the seed, and
-   ratios against the tracked BENCH_PR2.json for every bench name the
-   two runs share: this is the perf trajectory future PRs regress
-   against (see DESIGN.md "Performance architecture"). *)
+   [bench json] additionally writes the estimates to BENCH_PR4.json
+   together with automaton-size counters, speedups against the seed,
+   ratios against the tracked BENCH_PR3.json for every bench name the
+   two runs share, and per-group Sl_obs span summaries from one
+   instrumented pass over representative inputs: this is the perf
+   trajectory future PRs regress against (see DESIGN.md "Performance
+   architecture"). *)
 
 module Lattice = Sl_lattice.Lattice
 module Named = Sl_lattice.Named
@@ -218,6 +220,11 @@ let monitor_engine =
   Sl_runtime.Engine.create
     ~monitors:(Sl_runtime.Registry.monitors monitor_registry)
 
+(* Disabled-kernel probes for the OBS overhead budget (DESIGN.md §6.8):
+   these time the dark-mode cost of an instrumented call site — one
+   global flag check — which must stay within noise of a bare loop. *)
+let obs_probe_counter = Sl_obs.Obs.Metrics.counter "bench_obs_probe_total"
+
 let monitor_naive_fleet =
   List.map
     (fun f -> Sl_buchi.Monitor.create (Lexamples.automaton f))
@@ -341,6 +348,21 @@ let make_tests () =
             Sl_runtime.Engine.reset monitor_engine;
             Sl_runtime.Engine.feed monitor_engine ~n:10_000
               ~traces:monitor_trace_ids ~symbols:monitor_trace_syms ());
+        (* The same feed with the observability kernel collecting: the
+           per-chunk telemetry epilogue plus one span, so the gap to the
+           dark-mode series above is the enabled-mode overhead. *)
+        t "monitor/engine-100x10k-obs" (fun () ->
+            Sl_obs.Obs.enable ();
+            Sl_runtime.Engine.reset monitor_engine;
+            Sl_runtime.Engine.feed monitor_engine ~n:10_000
+              ~traces:monitor_trace_ids ~symbols:monitor_trace_syms ();
+            Sl_obs.Obs.disable ());
+        (* OBS dark-mode probes: an instrumented counter bump and a full
+           span enter/exit pair while the kernel is off. *)
+        t "obs/counter-incr-disabled" (fun () ->
+            Sl_obs.Obs.Metrics.incr obs_probe_counter);
+        t "obs/span-disabled" (fun () ->
+            Sl_obs.Obs.Span.exit (Sl_obs.Obs.Span.enter "bench.disabled"));
         t "monitor/naive-100x10k" (fun () ->
             List.iter Sl_buchi.Monitor.reset monitor_naive_fleet;
             Array.iter
@@ -539,6 +561,34 @@ let bench_counters () =
     ("monitor/steady-minor-words-per-event",
      monitor_steady_minor_words_per_event ()) ]
 
+(* Per-group span summaries: one pass over a representative input per
+   instrumented bench group with the observability kernel collecting,
+   aggregated by span name. They document where the decision pipeline
+   and the engine spend their time, in the same trajectory file the
+   timings live in. *)
+let span_summaries () =
+  let module Obs = Sl_obs.Obs in
+  Obs.reset ();
+  Obs.enable ();
+  ignore
+    (Translate.translate ~alphabet:2 ~valuation:Lexamples.valuation
+       big_formula);
+  ignore (Sl_nfa.Nfa.determinize dense_nfa);
+  ignore (Complement.rank_based (random_automaton 3));
+  let r = Sl_runtime.Registry.create ~alphabet:2 () in
+  List.iter
+    (fun f -> ignore (Sl_runtime.Registry.add_formula r f))
+    monitor_fleet_props;
+  let eng =
+    Sl_runtime.Engine.create ~monitors:(Sl_runtime.Registry.monitors r)
+  in
+  Sl_runtime.Engine.feed eng ~n:10_000 ~traces:monitor_trace_ids
+    ~symbols:monitor_trace_syms ();
+  Obs.disable ();
+  let aggs = Obs.Span.aggregates () in
+  Obs.reset ();
+  aggs
+
 (* The trajectory files are hand-rolled line-per-record JSON (written by
    [run_benchmarks_json] below, in PR 1 and now); read a previous file's
    "results" section back the same way, one line at a time, without
@@ -613,7 +663,7 @@ let run_benchmarks_json ~path =
               baseline)
       estimates
   in
-  let prev = read_prev_results "BENCH_PR2.json" in
+  let prev = read_prev_results "BENCH_PR3.json" in
   let vs_prev =
     match prev with
     | None -> []
@@ -628,7 +678,7 @@ let run_benchmarks_json ~path =
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
   p "  \"schema\": \"sl-bench-trajectory/1\",\n";
-  p "  \"pr\": \"PR3\",\n";
+  p "  \"pr\": \"PR4\",\n";
   p "  \"config\": {\"quota_s\": 0.25, \"limit\": 1000, \"estimator\": \"ols\"},\n";
   p "  \"results\": [\n";
   let sorted = List.sort (fun (a, _) (b, _) -> compare a b) estimates in
@@ -656,22 +706,32 @@ let run_benchmarks_json ~path =
         (if i = List.length speedups - 1 then "" else ","))
     speedups;
   p "  ],\n";
-  p "  \"speedups_vs_pr2\": [\n";
+  p "  \"speedups_vs_pr3\": [\n";
   List.iteri
     (fun i (name, ns, base, ratio) ->
       p
-        "    {\"name\": \"%s\", \"ns_per_run\": %.1f, \"pr2_ns_per_run\": \
+        "    {\"name\": \"%s\", \"ns_per_run\": %.1f, \"pr3_ns_per_run\": \
          %.1f, \"speedup\": %.2f}%s\n"
         (json_escape name) ns base ratio
         (if i = List.length vs_prev - 1 then "" else ","))
     vs_prev;
+  p "  ],\n";
+  let spans = span_summaries () in
+  p "  \"span_summaries\": [\n";
+  List.iteri
+    (fun i (name, count, total_us) ->
+      p "    {\"name\": \"%s\", \"count\": %d, \"total_us\": %.1f}%s\n"
+        (json_escape name) count total_us
+        (if i = List.length spans - 1 then "" else ","))
+    spans;
   p "  ]\n";
   p "}\n";
   close_out oc;
   Format.printf
-    "wrote %s (%d results, %d counters, %d speedups vs seed, %d vs PR2)@."
+    "wrote %s (%d results, %d counters, %d speedups vs seed, %d vs PR3, \
+     %d span groups)@."
     path (List.length estimates) (List.length counters)
-    (List.length speedups) (List.length vs_prev)
+    (List.length speedups) (List.length vs_prev) (List.length spans)
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
@@ -680,7 +740,7 @@ let () =
       List.iter (fun (_, f) -> f ()) artifacts;
       run_benchmarks ()
   | [ "bench" ] -> run_benchmarks ()
-  | [ "bench"; "json" ] -> run_benchmarks_json ~path:"BENCH_PR3.json"
+  | [ "bench"; "json" ] -> run_benchmarks_json ~path:"BENCH_PR4.json"
   | [ "bench"; "json"; path ] -> run_benchmarks_json ~path
   | names ->
       List.iter

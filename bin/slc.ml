@@ -26,6 +26,66 @@ let parse_formula s =
   | Ok f -> Ok f
   | Error e -> Error (`Msg ("parse error: " ^ e))
 
+(* Observability plumbing, shared by every subcommand: [--metrics DEST]
+   turns the Sl_obs kernel on for the run and writes the Prometheus text
+   exposition after the subcommand's own output; [--trace-out FILE]
+   dumps the buffered spans as trace-event JSON lines. With neither flag
+   the kernel stays dark and subcommands behave exactly as before. *)
+module Obs = Sl_obs.Obs
+
+let metrics_arg =
+  let doc =
+    "Enable the observability kernel for this run and, after the \
+     subcommand finishes, write every collected metric in the Prometheus \
+     text exposition format to $(docv) ('-' for stdout)."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"DEST" ~doc)
+
+let trace_out_arg =
+  let doc =
+    "Enable the observability kernel for this run and write the collected \
+     spans as trace-event JSON lines (one chrome://tracing complete event \
+     per line) to $(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+
+let dump_metrics dest =
+  match dest with
+  | "-" -> print_string (Obs.Metrics.to_prometheus ()); flush stdout
+  | file ->
+      let oc = open_out file in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> output_string oc (Obs.Metrics.to_prometheus ()))
+
+let dump_trace file =
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> Obs.Span.write_jsonl oc)
+
+let with_obs metrics trace_out run =
+  match (metrics, trace_out) with
+  | None, None -> run ()
+  | _ ->
+      Obs.enable ();
+      let code =
+        match run () with
+        | code -> code
+        | exception e ->
+            Obs.disable ();
+            raise e
+      in
+      flush stdout;
+      Option.iter dump_metrics metrics;
+      Option.iter dump_trace trace_out;
+      Obs.disable ();
+      code
+
+(* Lift a [unit -> int] subcommand term into one that honours the
+   observability flags. *)
+let obs_term term = Term.(const with_obs $ metrics_arg $ trace_out_arg $ term)
+
 let classify_cmd =
   let run s =
     match parse_formula s with
@@ -38,7 +98,7 @@ let classify_cmd =
   in
   Cmd.v
     (Cmd.info "classify" ~doc:"Classify an LTL property as safety/liveness")
-    Term.(const run $ formula_arg)
+    (obs_term Term.(const (fun s () -> run s) $ formula_arg))
 
 let decompose_cmd =
   let run s =
@@ -66,7 +126,7 @@ let decompose_cmd =
   Cmd.v
     (Cmd.info "decompose"
        ~doc:"Decompose an LTL property into safety and liveness automata")
-    Term.(const run $ formula_arg)
+    (obs_term Term.(const (fun s () -> run s) $ formula_arg))
 
 let stats_cmd =
   let run s =
@@ -101,7 +161,7 @@ let stats_cmd =
        ~doc:
          "Print transition-graph statistics (states, edges, SCCs) and the \
           classification of an LTL property's automaton")
-    Term.(const run $ formula_arg)
+    (obs_term Term.(const (fun s () -> run s) $ formula_arg))
 
 let rem_cmd =
   let run () =
@@ -110,7 +170,7 @@ let rem_cmd =
   in
   Cmd.v
     (Cmd.info "rem-table" ~doc:"Regenerate the Section 2.3 example table")
-    Term.(const run $ const ())
+    (obs_term (Term.const run))
 
 let ctl_cmd =
   let run () =
@@ -120,7 +180,7 @@ let ctl_cmd =
   in
   Cmd.v
     (Cmd.info "ctl-table" ~doc:"Regenerate the Section 4.3 example table")
-    Term.(const run $ const ())
+    (obs_term (Term.const run))
 
 let lattice_names =
   [ ("n5", (Named.n5, Named.n5_label)); ("m3", (Named.m3, Named.m3_label));
@@ -144,7 +204,7 @@ let dot_cmd =
   in
   Cmd.v
     (Cmd.info "dot" ~doc:"Print a lattice's Hasse diagram in GraphViz form")
-    Term.(const run $ name_arg)
+    (obs_term Term.(const (fun name () -> run name) $ name_arg))
 
 let theorems_cmd =
   let run () =
@@ -188,7 +248,7 @@ let theorems_cmd =
   Cmd.v
     (Cmd.info "theorems"
        ~doc:"Exhaustively check Theorems 2/3/5/6/7 on the lattice corpus")
-    Term.(const run $ const ())
+    (obs_term (Term.const run))
 
 (* One-shot mode, kept from the original CLI: one formula, the trace
    inline on the command line. *)
@@ -261,11 +321,23 @@ let monitor_stream ~props_file ~trace_file ~json =
       Verdict.make ~registry ~engine ~trace_name:(Ingest.name ingest)
         ~elapsed_s ()
     in
-    if json then print_string (Verdict.to_json report)
-    else Verdict.pp_text Format.std_formatter report;
-    if prop_errors <> [] || !trace_errors > 0 then 2
-    else if report.Verdict.counters.Verdict.violations > 0 then 1
-    else 0
+    (* Single exit path: render the whole report first (JSON or text),
+       then one [finish] prints it, flushes stdout, and returns the
+       code — so a partially written [--json] document can't be left
+       unflushed behind a later metrics dump or an exit. *)
+    let finish rendered code =
+      print_string rendered;
+      flush stdout;
+      code
+    in
+    let rendered =
+      if json then Verdict.to_json report
+      else Format.asprintf "%a" Verdict.pp_text report
+    in
+    finish rendered
+      (if prop_errors <> [] || !trace_errors > 0 then 2
+       else if report.Verdict.counters.Verdict.violations > 0 then 1
+       else 0)
   end
 
 let monitor_cmd =
@@ -314,9 +386,11 @@ let monitor_cmd =
        ~doc:
          "Run runtime monitors of properties' safety parts over traces \
           (streaming with --props/--trace, or one-shot on a formula)")
-    Term.(
-      const run $ props_arg $ trace_file_arg $ json_arg $ formula_opt_arg
-      $ trace_pos_arg)
+    (obs_term
+       Term.(
+         const (fun props tf json f tr () -> run props tf json f tr)
+         $ props_arg $ trace_file_arg $ json_arg $ formula_opt_arg
+         $ trace_pos_arg))
 
 let regex_cmd =
   let regex_arg =
@@ -337,7 +411,7 @@ let regex_cmd =
   Cmd.v
     (Cmd.info "regex"
        ~doc:"Classify an omega-regular expression over {a, b}")
-    Term.(const run $ regex_arg)
+    (obs_term Term.(const (fun s () -> run s) $ regex_arg))
 
 let modelcheck_cmd =
   let system_arg =
@@ -387,7 +461,8 @@ let modelcheck_cmd =
   Cmd.v
     (Cmd.info "modelcheck"
        ~doc:"Check an LTL specification against a built-in system")
-    Term.(const run $ system_arg $ spec_arg)
+    (obs_term
+       Term.(const (fun sys spec () -> run sys spec) $ system_arg $ spec_arg))
 
 let () =
   let doc = "the lattice-theoretic safety/liveness toolbox (PODC 2003)" in

@@ -1,5 +1,13 @@
 exception Too_large of string
 
+module Obs = Sl_obs.Obs
+
+(* Rank-based complementation telemetry (recorded only while Sl_obs is
+   enabled): constructed state counts and ranking-interner hit rate. *)
+let m_rank_runs = Obs.Metrics.counter "buchi_rank_complement_runs_total"
+let h_rank_states = Obs.Metrics.histogram "buchi_rank_complement_states"
+let m_rank_interner_hits = Obs.Metrics.counter "buchi_rank_interner_hits_total"
+
 let complement_closed (b : Buchi.t) =
   if Buchi.is_empty b then Buchi.universal ~alphabet:b.alphabet
   else if not (Closure.is_closure_shaped b) then
@@ -109,11 +117,14 @@ let ranking_successors (b : Buchi.t) (st : Ranking.t) s =
    keyed by [Stdlib.compare]. Breadth-first, so state numbering matches
    the seed reference exactly. *)
 let rank_based ?(max_states = 200_000) (b : Buchi.t) =
+  let sp = Obs.Span.enter "buchi.rank_complement" in
   let max_rank = max_rank_of b in
   let interned = Rtable.create 256 in
   let states = ref [] in
   let count = ref 0 in
+  let intern_calls = ref 0 in
   let intern st =
+    incr intern_calls;
     match Rtable.find_opt interned st with
     | Some i -> i
     | None ->
@@ -128,41 +139,60 @@ let rank_based ?(max_states = 200_000) (b : Buchi.t) =
         states := st :: !states;
         i
   in
-  let initial = initial_ranking b ~max_rank in
-  (* Breadth-first construction. *)
-  let transitions = Hashtbl.create 256 in
-  let queue = Queue.create () in
-  let start = intern initial in
-  Queue.push initial queue;
-  while not (Queue.is_empty queue) do
-    let st = Queue.pop queue in
-    let i = Rtable.find interned st in
-    if not (Hashtbl.mem transitions i) then begin
-      let row =
-        Array.init b.alphabet (fun s ->
-            List.map
-              (fun st' ->
-                let fresh = not (Rtable.mem interned st') in
-                let j = intern st' in
-                if fresh then Queue.push st' queue;
-                j)
-              (ranking_successors b st s)
-            |> List.sort_uniq Stdlib.compare)
-      in
-      Hashtbl.replace transitions i row
-    end
-  done;
-  let nstates = !count in
-  let all_states = Array.make nstates initial in
-  List.iter (fun st -> all_states.(Rtable.find interned st) <- st) !states;
-  let delta =
-    Array.init nstates (fun i ->
-        match Hashtbl.find_opt transitions i with
-        | Some row -> row
-        | None -> Array.make b.alphabet [])
+  let build () =
+    let initial = initial_ranking b ~max_rank in
+    (* Breadth-first construction. *)
+    let transitions = Hashtbl.create 256 in
+    let queue = Queue.create () in
+    let start = intern initial in
+    Queue.push initial queue;
+    while not (Queue.is_empty queue) do
+      let st = Queue.pop queue in
+      let i = Rtable.find interned st in
+      if not (Hashtbl.mem transitions i) then begin
+        let row =
+          Array.init b.alphabet (fun s ->
+              List.map
+                (fun st' ->
+                  let fresh = not (Rtable.mem interned st') in
+                  let j = intern st' in
+                  if fresh then Queue.push st' queue;
+                  j)
+                (ranking_successors b st s)
+              |> List.sort_uniq Stdlib.compare)
+        in
+        Hashtbl.replace transitions i row
+      end
+    done;
+    let nstates = !count in
+    let all_states = Array.make nstates initial in
+    List.iter (fun st -> all_states.(Rtable.find interned st) <- st) !states;
+    let delta =
+      Array.init nstates (fun i ->
+          match Hashtbl.find_opt transitions i with
+          | Some row -> row
+          | None -> Array.make b.alphabet [])
+    in
+    let accepting =
+      Array.init nstates (fun i -> all_states.(i).Ranking.o = [])
+    in
+    Buchi.make ~alphabet:b.alphabet ~nstates ~start ~delta ~accepting
   in
-  let accepting = Array.init nstates (fun i -> all_states.(i).Ranking.o = []) in
-  Buchi.make ~alphabet:b.alphabet ~nstates ~start ~delta ~accepting
+  match build () with
+  | exception e ->
+      Obs.Span.exit sp;
+      raise e
+  | result ->
+      let hits = !intern_calls - !count in
+      Obs.Metrics.incr m_rank_runs;
+      Obs.Metrics.observe h_rank_states !count;
+      Obs.Metrics.add m_rank_interner_hits hits;
+      Obs.Span.attr sp "input_states" b.Buchi.nstates;
+      Obs.Span.attr sp "max_rank" max_rank;
+      Obs.Span.attr sp "states" !count;
+      Obs.Span.attr sp "interner_hits" hits;
+      Obs.Span.exit sp;
+      result
 
 (* The seed's Map-interned construction, kept as the reference
    implementation for property tests and bench baselines. Identical

@@ -1,3 +1,14 @@
+module Obs = Sl_obs.Obs
+
+(* Kernel-level telemetry (dark unless Sl_obs is enabled): how many
+   graph analyses ran and how large their working sets got. The peak
+   trackers themselves are a couple of int ops per node — cheap enough
+   to keep unconditional, so enabling metrics changes no traversal. *)
+let m_scc_runs = Obs.Metrics.counter "digraph_scc_runs_total"
+let h_scc_count = Obs.Metrics.histogram "digraph_scc_count"
+let m_reach_runs = Obs.Metrics.counter "digraph_reach_runs_total"
+let h_reach_frontier_peak = Obs.Metrics.histogram "digraph_reach_frontier_peak"
+
 type t = {
   nodes : int;
   nsyms : int;
@@ -77,17 +88,24 @@ let has_self_loop g v =
 let always _ = true
 
 let reach_into g keep seen worklist =
+  let len = ref (List.length !worklist) in
+  let peak = ref !len in
   while !worklist <> [] do
     match !worklist with
     | [] -> ()
     | v :: rest ->
         worklist := rest;
+        decr len;
         iter_succ g v (fun w ->
             if (not seen.(w)) && keep w then begin
               seen.(w) <- true;
-              worklist := w :: !worklist
+              worklist := w :: !worklist;
+              incr len;
+              if !len > !peak then peak := !len
             end)
-  done
+  done;
+  Obs.Metrics.incr m_reach_runs;
+  Obs.Metrics.observe h_reach_frontier_peak !peak
 
 let reachable ?filter g sources =
   let keep = Option.value filter ~default:always in
@@ -229,6 +247,8 @@ let sccs ?filter g =
   for v = 0 to n - 1 do
     if keep v && index.(v) = -1 then run v
   done;
+  Obs.Metrics.incr m_scc_runs;
+  Obs.Metrics.observe h_scc_count !ncomp;
   {
     comp;
     count = !ncomp;

@@ -1,4 +1,13 @@
 module Buchi = Sl_buchi.Buchi
+module Obs = Sl_obs.Obs
+
+(* Tableau-translation telemetry (recorded only while Sl_obs is
+   enabled): closure size, elementary-set count (GNBA states),
+   degeneralization width, and the resulting NBA size per phase. *)
+let m_translate_runs = Obs.Metrics.counter "ltl_translate_runs_total"
+let h_closure_size = Obs.Metrics.histogram "ltl_closure_size"
+let h_gnba_states = Obs.Metrics.histogram "ltl_gnba_states"
+let h_nba_states = Obs.Metrics.histogram "ltl_nba_states"
 
 (* The positive closure: all non-negation core subformulas. Membership of a
    negation ¬ψ in an elementary set is represented as absence of ψ. *)
@@ -101,8 +110,13 @@ let build formula =
   (t, elementary, ne, eindex, k, in_accept_set, initial_sets)
 
 let translate ~alphabet ~valuation formula =
+  let sp = Obs.Span.enter "ltl.translate" in
   let t, elementary, ne, eindex, k, in_accept_set, initial_sets =
-    build formula
+    match build formula with
+    | built -> built
+    | exception e ->
+        Obs.Span.exit sp;
+        raise e
   in
   (* Degeneralized state encoding: 0 is the fresh start; state
      1 + (e * k + counter) is (elementary set e, counter). *)
@@ -151,7 +165,17 @@ let translate ~alphabet ~valuation formula =
           counter = 0 && in_accept_set 0 elementary.(e)
         end)
   in
-  Buchi.make ~alphabet ~nstates ~start:0 ~delta ~accepting
+  let b = Buchi.make ~alphabet ~nstates ~start:0 ~delta ~accepting in
+  Obs.Metrics.incr m_translate_runs;
+  Obs.Metrics.observe h_closure_size (Array.length t.pos);
+  Obs.Metrics.observe h_gnba_states ne;
+  Obs.Metrics.observe h_nba_states nstates;
+  Obs.Span.attr sp "closure_size" (Array.length t.pos);
+  Obs.Span.attr sp "elementary_sets" ne;
+  Obs.Span.attr sp "acceptance_sets" k;
+  Obs.Span.attr sp "nba_states" nstates;
+  Obs.Span.exit sp;
+  b
 
 let gnba_stats ~alphabet ~valuation formula =
   ignore alphabet;

@@ -1,6 +1,16 @@
 module B = Sl_core.Bitset
 module Digraph = Sl_core.Digraph
 module Asig = Sl_core.Automaton_sig
+module Obs = Sl_obs.Obs
+
+(* Subset-construction telemetry (recorded only while Sl_obs is
+   enabled): how many determinizations ran, how big the resulting DFAs
+   were, how deep the BFS frontier got, and how often the bitset
+   interner was hit with an already-known subset. *)
+let m_det_runs = Obs.Metrics.counter "nfa_determinize_runs_total"
+let h_det_dfa_states = Obs.Metrics.histogram "nfa_determinize_dfa_states"
+let h_det_frontier_peak = Obs.Metrics.histogram "nfa_subset_frontier_peak"
+let m_det_interner_hits = Obs.Metrics.counter "nfa_interner_hits_total"
 
 type t = {
   alphabet : int;
@@ -103,6 +113,7 @@ let trim n =
    number of DFA states. *)
 let determinize n =
   let module B = Sl_core.Bitset in
+  let sp = Obs.Span.enter "nfa.determinize" in
   let interner = B.Interner.create () in
   let start_set = B.of_list n.nstates n.starts in
   let start = B.Interner.intern interner start_set in
@@ -116,10 +127,14 @@ let determinize n =
     end;
     !rows.(i) <- row
   in
+  (* Frontier-depth tracking: plain int arithmetic per push/pop, kept
+     unconditional so enabling metrics cannot perturb the traversal. *)
+  let qlen = ref 1 and qpeak = ref 1 in
   let queue = Queue.create () in
   Queue.push (start, start_set) queue;
   while not (Queue.is_empty queue) do
     let i, set = Queue.pop queue in
+    decr qlen;
     let row =
       Array.init n.alphabet (fun s ->
           let succ = B.create n.nstates in
@@ -128,7 +143,11 @@ let determinize n =
             set;
           let before = B.Interner.count interner in
           let j = B.Interner.intern interner succ in
-          if j = before then Queue.push (j, succ) queue;
+          if j = before then begin
+            Queue.push (j, succ) queue;
+            incr qlen;
+            if !qlen > !qpeak then qpeak := !qlen
+          end;
           j)
     in
     ensure_row i row
@@ -139,6 +158,18 @@ let determinize n =
   B.Interner.iteri
     (fun i set -> accepting.(i) <- B.exists (fun q -> n.accepting.(q)) set)
     interner;
+  (* Every subset state is expanded exactly once, so the interner saw
+     [nstates * alphabet] lookups of which [nstates - 1] were fresh. *)
+  let interner_hits = (nstates * n.alphabet) - (nstates - 1) in
+  Obs.Metrics.incr m_det_runs;
+  Obs.Metrics.observe h_det_dfa_states nstates;
+  Obs.Metrics.observe h_det_frontier_peak !qpeak;
+  Obs.Metrics.add m_det_interner_hits interner_hits;
+  Obs.Span.attr sp "nfa_states" n.nstates;
+  Obs.Span.attr sp "dfa_states" nstates;
+  Obs.Span.attr sp "frontier_peak" !qpeak;
+  Obs.Span.attr sp "interner_hits" interner_hits;
+  Obs.Span.exit sp;
   Dfa.make ~alphabet:n.alphabet ~nstates ~start ~delta ~accepting
 
 (* The seed's subset construction, kept verbatim as the reference

@@ -1,0 +1,476 @@
+(* The observability kernel. Dark by default: every recording entry
+   point checks the single global [on] flag first and falls through in a
+   couple of instructions when collection is off, so the instrumented
+   hot paths of the decision pipeline and the runtime engine pay one
+   boolean load. See DESIGN.md §6.8 for the overhead budget. *)
+
+let on = ref false
+
+let is_enabled () = !on
+let enable () = on := true
+let disable () = on := false
+
+(* ------------------------------------------------------------------ *)
+(* Clock                                                               *)
+(* ------------------------------------------------------------------ *)
+
+module Clock = struct
+  (* [Unix.gettimeofday] is a wall clock, not a monotonic one; spans
+     must never see time run backwards, so readings are clamped to be
+     non-decreasing. Tests install deterministic sources. *)
+  let default_source = Unix.gettimeofday
+
+  let source = ref default_source
+  let last = ref neg_infinity
+  let epoch = ref nan
+
+  let raw_now () =
+    let t = !source () in
+    if t < !last then !last
+    else begin
+      last := t;
+      t
+    end
+
+  let now_us () =
+    let t = raw_now () in
+    if Float.is_nan !epoch then begin
+      epoch := t;
+      0.
+    end
+    else (t -. !epoch) *. 1e6
+
+  let set_source f =
+    source := f;
+    last := neg_infinity;
+    epoch := nan
+
+  let reset_source () = set_source default_source
+end
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+(* ------------------------------------------------------------------ *)
+
+module Metrics = struct
+  type counter = int (* index into [cells] *)
+  type gauge = int (* index into [cells] *)
+  type histogram = int (* base offset into [hcells] *)
+
+  type kind = Kcounter | Kgauge | Khistogram
+
+  type meta = { mname : string; kind : kind; index : int }
+
+  (* Log-2 bucketing: bucket 0 holds samples <= 0, bucket i >= 1 holds
+     [2^(i-1), 2^i - 1]. With 63-bit ints, [nbuckets - 1] = 62 already
+     covers every positive value, so the top bucket doubles as the
+     overflow bucket. Per-histogram layout in [hcells]: [nbuckets]
+     bucket slots followed by one sum slot. *)
+  let nbuckets = 63
+  let hslots = nbuckets + 1
+
+  let registry : (string, meta) Hashtbl.t = Hashtbl.create 64
+  let order : meta list ref = ref [] (* reversed registration order *)
+  let cells = ref (Array.make 64 0)
+  let ncells = ref 0
+  let hcells = ref (Array.make (4 * hslots) 0)
+  let nhist = ref 0
+
+  let kind_name = function
+    | Kcounter -> "counter"
+    | Kgauge -> "gauge"
+    | Khistogram -> "histogram"
+
+  let grow a need =
+    if need <= Array.length !a then ()
+    else begin
+      let fresh = Array.make (max need (2 * Array.length !a)) 0 in
+      Array.blit !a 0 fresh 0 (Array.length !a);
+      a := fresh
+    end
+
+  let register name kind =
+    match Hashtbl.find_opt registry name with
+    | Some m ->
+        if m.kind <> kind then
+          invalid_arg
+            (Printf.sprintf "Obs.Metrics: %s already registered as a %s" name
+               (kind_name m.kind));
+        m.index
+    | None ->
+        let index =
+          match kind with
+          | Kcounter | Kgauge ->
+              let i = !ncells in
+              grow cells (i + 1);
+              !cells.(i) <- 0;
+              ncells := i + 1;
+              i
+          | Khistogram ->
+              let base = !nhist * hslots in
+              grow hcells (base + hslots);
+              Array.fill !hcells base hslots 0;
+              incr nhist;
+              base
+        in
+        let m = { mname = name; kind; index } in
+        Hashtbl.add registry name m;
+        order := m :: !order;
+        index
+
+  let counter name : counter = register name Kcounter
+  let gauge name : gauge = register name Kgauge
+  let histogram name : histogram = register name Khistogram
+
+  (* The recording fast path: one flag check, then unsafe flat-array
+     writes (indices are valid by construction of the handles). *)
+  let incr (c : counter) =
+    if !on then
+      Array.unsafe_set !cells c (Array.unsafe_get !cells c + 1)
+
+  let add (c : counter) v =
+    if !on then
+      Array.unsafe_set !cells c (Array.unsafe_get !cells c + v)
+
+  let set (g : gauge) v = if !on then Array.unsafe_set !cells g v
+
+  let bucket_of v =
+    if v <= 0 then 0
+    else begin
+      let b = ref 0 and v = ref v in
+      while !v > 0 do
+        b := !b + 1;
+        v := !v lsr 1
+      done;
+      (* !b = floor(log2 v) + 1 <= 62 for 63-bit ints *)
+      if !b > nbuckets - 1 then nbuckets - 1 else !b
+    end
+
+  let observe (h : histogram) v =
+    if !on then begin
+      let cells = !hcells in
+      let b = h + bucket_of v in
+      Array.unsafe_set cells b (Array.unsafe_get cells b + 1);
+      let s = h + nbuckets in
+      Array.unsafe_set cells s (Array.unsafe_get cells s + v)
+    end
+
+  let counter_value (c : counter) = !cells.(c)
+  let gauge_value (g : gauge) = !cells.(g)
+
+  let histogram_count (h : histogram) =
+    let total = ref 0 in
+    for i = h to h + nbuckets - 1 do
+      total := !total + !hcells.(i)
+    done;
+    !total
+
+  let histogram_sum (h : histogram) = !hcells.(h + nbuckets)
+
+  let bucket_upper i = (1 lsl i) - 1 (* bucket 0 -> 0, bucket i -> 2^i - 1 *)
+
+  let histogram_buckets (h : histogram) =
+    let last_nonempty = ref (-1) in
+    for i = 0 to nbuckets - 1 do
+      if !hcells.(h + i) > 0 then last_nonempty := i
+    done;
+    let cum = ref 0 in
+    let finite =
+      List.init (!last_nonempty + 1) (fun i ->
+          cum := !cum + !hcells.(h + i);
+          (Some (bucket_upper i), !cum))
+    in
+    finite @ [ (None, !cum) ]
+
+  let find name kinds =
+    match Hashtbl.find_opt registry name with
+    | Some m when List.mem m.kind kinds -> Some m
+    | _ -> None
+
+  let value name =
+    Option.map (fun m -> !cells.(m.index)) (find name [ Kcounter; Kgauge ])
+
+  let histogram_stats name =
+    Option.map
+      (fun m -> (histogram_count m.index, histogram_sum m.index))
+      (find name [ Khistogram ])
+
+  let registered () = List.rev !order
+
+  let names () = List.map (fun m -> m.mname) (registered ())
+
+  let to_prometheus () =
+    let buf = Buffer.create 1024 in
+    let p fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+    List.iter
+      (fun m ->
+        p "# TYPE %s %s\n" m.mname (kind_name m.kind);
+        match m.kind with
+        | Kcounter | Kgauge -> p "%s %d\n" m.mname !cells.(m.index)
+        | Khistogram ->
+            List.iter
+              (fun (ub, cum) ->
+                match ub with
+                | Some ub -> p "%s_bucket{le=\"%d\"} %d\n" m.mname ub cum
+                | None -> p "%s_bucket{le=\"+Inf\"} %d\n" m.mname cum)
+              (histogram_buckets m.index);
+            p "%s_sum %d\n" m.mname (histogram_sum m.index);
+            p "%s_count %d\n" m.mname (histogram_count m.index))
+      (registered ());
+    Buffer.contents buf
+
+  let reset () =
+    Array.fill !cells 0 !ncells 0;
+    Array.fill !hcells 0 (!nhist * hslots) 0
+end
+
+(* ------------------------------------------------------------------ *)
+(* Spans                                                               *)
+(* ------------------------------------------------------------------ *)
+
+module Span = struct
+  type token = int (* generation number; 0 = none *)
+
+  let none : token = 0
+
+  type event = {
+    name : string;
+    ts_us : float;
+    dur_us : float;
+    depth : int;
+    attrs : (string * int) list;
+    minor_words : int;
+    major_words : int;
+    minor_collections : int;
+    major_collections : int;
+    heap_delta_words : int;
+  }
+
+  (* Open-span stack: frames are preallocated records mutated in place,
+     so entering a span allocates nothing beyond the attrs list. *)
+  type frame = {
+    mutable gen : int;
+    mutable fname : string;
+    mutable start_us : float;
+    mutable fattrs : (string * int) list;
+    mutable mw0 : float;
+    mutable maw0 : float;
+    mutable mic0 : int;
+    mutable mac0 : int;
+    mutable hw0 : int;
+  }
+
+  let fresh_frame () =
+    { gen = 0; fname = ""; start_us = 0.; fattrs = []; mw0 = 0.; maw0 = 0.;
+      mic0 = 0; mac0 = 0; hw0 = 0 }
+
+  let stack = ref (Array.init 16 (fun _ -> fresh_frame ()))
+  let depth = ref 0
+  let generation = ref 0
+  let gc_probe = ref true
+
+  let dummy_event =
+    { name = ""; ts_us = 0.; dur_us = 0.; depth = 0; attrs = [];
+      minor_words = 0; major_words = 0; minor_collections = 0;
+      major_collections = 0; heap_delta_words = 0 }
+
+  let ring = ref (Array.make 8192 dummy_event)
+  let ring_start = ref 0
+  let ring_len = ref 0
+  let dropped_count = ref 0
+
+  type agg = { mutable count : int; mutable total_us : float }
+
+  let aggs : (string, agg) Hashtbl.t = Hashtbl.create 64
+
+  let set_ring_capacity n =
+    if n <= 0 then invalid_arg "Obs.Span.set_ring_capacity";
+    ring := Array.make n dummy_event;
+    ring_start := 0;
+    ring_len := 0;
+    dropped_count := 0
+
+  let ring_capacity () = Array.length !ring
+  let dropped () = !dropped_count
+  let set_gc_probe b = gc_probe := b
+
+  let push_event ev =
+    let cap = Array.length !ring in
+    if !ring_len < cap then begin
+      !ring.((!ring_start + !ring_len) mod cap) <- ev;
+      incr ring_len
+    end
+    else begin
+      !ring.(!ring_start) <- ev;
+      ring_start := (!ring_start + 1) mod cap;
+      incr dropped_count
+    end;
+    (match Hashtbl.find_opt aggs ev.name with
+    | Some a ->
+        a.count <- a.count + 1;
+        a.total_us <- a.total_us +. ev.dur_us
+    | None -> Hashtbl.add aggs ev.name { count = 1; total_us = ev.dur_us })
+
+  let enter name : token =
+    if not !on then none
+    else begin
+      let i = !depth in
+      if i = Array.length !stack then begin
+        let fresh =
+          Array.init (2 * i) (fun j ->
+              if j < i then !stack.(j) else fresh_frame ())
+        in
+        stack := fresh
+      end;
+      let f = !stack.(i) in
+      incr generation;
+      f.gen <- !generation;
+      f.fname <- name;
+      f.fattrs <- [];
+      f.start_us <- Clock.now_us ();
+      if !gc_probe then begin
+        let s = Gc.quick_stat () in
+        (* [quick_stat]'s [minor_words] omits words allocated since the
+           last minor collection (OCaml 5), which zeroes out short
+           spans; [Gc.minor_words] reads the allocation pointer too. *)
+        f.mw0 <- Gc.minor_words ();
+        f.maw0 <- s.Gc.major_words;
+        f.mic0 <- s.Gc.minor_collections;
+        f.mac0 <- s.Gc.major_collections;
+        f.hw0 <- s.Gc.heap_words
+      end;
+      depth := i + 1;
+      !generation
+    end
+
+  let find_frame tok =
+    let rec scan i =
+      if i < 0 then -1
+      else if !stack.(i).gen = tok then i
+      else scan (i - 1)
+    in
+    scan (!depth - 1)
+
+  let attr tok key v =
+    if tok <> none then begin
+      let i = find_frame tok in
+      if i >= 0 then begin
+        let f = !stack.(i) in
+        f.fattrs <- (key, v) :: f.fattrs
+      end
+    end
+
+  let exit tok =
+    if tok <> none then begin
+      let target = find_frame tok in
+      if target >= 0 then begin
+        let now = Clock.now_us () in
+        let stat =
+          if !gc_probe then Some (Gc.quick_stat (), Gc.minor_words ())
+          else None
+        in
+        (* Close still-open children innermost-first, at one timestamp. *)
+        while !depth > target do
+          let i = !depth - 1 in
+          let f = !stack.(i) in
+          let mw, maw, mic, mac, hd =
+            match stat with
+            | None -> (0, 0, 0, 0, 0)
+            | Some (s, mwn) ->
+                ( int_of_float (mwn -. f.mw0),
+                  int_of_float (s.Gc.major_words -. f.maw0),
+                  s.Gc.minor_collections - f.mic0,
+                  s.Gc.major_collections - f.mac0,
+                  s.Gc.heap_words - f.hw0 )
+          in
+          push_event
+            { name = f.fname; ts_us = f.start_us;
+              dur_us = now -. f.start_us; depth = i;
+              attrs = List.rev f.fattrs; minor_words = mw; major_words = maw;
+              minor_collections = mic; major_collections = mac;
+              heap_delta_words = hd };
+          f.gen <- 0;
+          depth := i
+        done
+      end
+    end
+
+  let with_ name f =
+    let tok = enter name in
+    match f () with
+    | v ->
+        exit tok;
+        v
+    | exception e ->
+        exit tok;
+        raise e
+
+  let events () =
+    let cap = Array.length !ring in
+    List.init !ring_len (fun i -> !ring.((!ring_start + i) mod cap))
+
+  let aggregates () =
+    Hashtbl.fold (fun name a acc -> (name, a.count, a.total_us) :: acc) aggs []
+    |> List.sort compare
+
+  let event_to_json ev =
+    let buf = Buffer.create 160 in
+    let p fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+    p "{\"name\": \"%s\", \"ph\": \"X\", \"pid\": 1, \"tid\": 1, \
+       \"ts\": %.3f, \"dur\": %.3f, \"args\": {"
+      (json_escape ev.name) ev.ts_us ev.dur_us;
+    let sep = ref "" in
+    let field k v =
+      p "%s\"%s\": %d" !sep (json_escape k) v;
+      sep := ", "
+    in
+    field "depth" ev.depth;
+    List.iter (fun (k, v) -> field k v) ev.attrs;
+    field "minor_words" ev.minor_words;
+    field "major_words" ev.major_words;
+    field "minor_gcs" ev.minor_collections;
+    field "major_gcs" ev.major_collections;
+    field "heap_delta_words" ev.heap_delta_words;
+    p "}}";
+    Buffer.contents buf
+
+  let write_jsonl oc =
+    List.iter
+      (fun ev ->
+        output_string oc (event_to_json ev);
+        output_char oc '\n')
+      (events ())
+
+  let to_jsonl () =
+    let buf = Buffer.create 1024 in
+    List.iter
+      (fun ev ->
+        Buffer.add_string buf (event_to_json ev);
+        Buffer.add_char buf '\n')
+      (events ());
+    Buffer.contents buf
+
+  let reset () =
+    depth := 0;
+    ring_start := 0;
+    ring_len := 0;
+    dropped_count := 0;
+    Hashtbl.reset aggs
+end
+
+let reset () =
+  Metrics.reset ();
+  Span.reset ()

@@ -1,3 +1,23 @@
+module Obs = Sl_obs.Obs
+
+(* Engine telemetry. The per-event hot path ([step_trace]) stays
+   untouched — metrics are recorded once per chunk/call from the [feed]
+   and [step] epilogues as deltas of the engine's own counters, so the
+   disabled-mode cost is one flag check per chunk, not per event.
+   Counters aggregate across all engines of the process. *)
+let m_events = Obs.Metrics.counter "engine_events_total"
+let m_chunks = Obs.Metrics.counter "engine_chunks_total"
+let m_retired_tripped = Obs.Metrics.counter "engine_retired_tripped_total"
+
+let m_retired_admissible =
+  Obs.Metrics.counter "engine_retired_admissible_total"
+
+let g_live = Obs.Metrics.gauge "engine_live_monitors"
+let h_chunk_latency = Obs.Metrics.histogram "engine_chunk_latency_ns"
+let h_chunk_events = Obs.Metrics.histogram "engine_chunk_events"
+let m_minor_words = Obs.Metrics.counter "engine_minor_words_total"
+let g_minor_words_per_event = Obs.Metrics.gauge "engine_minor_words_per_event"
+
 type verdict =
   | Vacuous
   | Admissible
@@ -132,19 +152,71 @@ let check_symbol eng symbol =
       (Printf.sprintf "Engine: symbol %d outside alphabet [0, %d)" symbol
          eng.alphabet)
 
+let live_count eng =
+  let n = ref 0 in
+  Array.iter (function Some tr -> n := !n + tr.nlive | None -> ()) eng.traces;
+  !n
+
+(* Record the chunk's telemetry from deltas of the engine's own
+   counters. [n] events were just stepped; [t0_us]/[mw0] were read
+   before the loop (only when collection was already enabled). *)
+let record_chunk eng ~n ~t0_us ~mw0 ~tripped0 ~retired0 =
+  let dt_ns = int_of_float ((Obs.Clock.now_us () -. t0_us) *. 1e3) in
+  let mw = int_of_float (Gc.minor_words () -. mw0) in
+  Obs.Metrics.add m_events n;
+  Obs.Metrics.incr m_chunks;
+  Obs.Metrics.add m_retired_tripped (eng.tripped - tripped0);
+  Obs.Metrics.add m_retired_admissible (eng.retired_ok - retired0);
+  Obs.Metrics.set g_live (live_count eng);
+  Obs.Metrics.observe h_chunk_latency dt_ns;
+  Obs.Metrics.observe h_chunk_events n;
+  Obs.Metrics.add m_minor_words mw;
+  if n > 0 then Obs.Metrics.set g_minor_words_per_event (mw / n)
+
 let step eng ~trace ~symbol =
   check_symbol eng symbol;
-  step_trace eng (get_trace eng trace) symbol
+  if not (Obs.is_enabled ()) then
+    step_trace eng (get_trace eng trace) symbol
+  else begin
+    let t0_us = Obs.Clock.now_us () in
+    let mw0 = Gc.minor_words () in
+    let tripped0 = eng.tripped and retired0 = eng.retired_ok in
+    step_trace eng (get_trace eng trace) symbol;
+    record_chunk eng ~n:1 ~t0_us ~mw0 ~tripped0 ~retired0
+  end
 
 let feed eng ?(off = 0) ~n ~traces ~symbols () =
   if off < 0 || n < 0 || off + n > Array.length traces
      || off + n > Array.length symbols
   then invalid_arg "Engine.feed: bad chunk bounds";
-  for k = off to off + n - 1 do
-    let symbol = Array.unsafe_get symbols k in
-    check_symbol eng symbol;
-    step_trace eng (get_trace eng (Array.unsafe_get traces k)) symbol
-  done
+  if not (Obs.is_enabled ()) then
+    for k = off to off + n - 1 do
+      let symbol = Array.unsafe_get symbols k in
+      check_symbol eng symbol;
+      step_trace eng (get_trace eng (Array.unsafe_get traces k)) symbol
+    done
+  else begin
+    let sp = Obs.Span.enter "engine.feed" in
+    let t0_us = Obs.Clock.now_us () in
+    let mw0 = Gc.minor_words () in
+    let tripped0 = eng.tripped and retired0 = eng.retired_ok in
+    (match
+       for k = off to off + n - 1 do
+         let symbol = Array.unsafe_get symbols k in
+         check_symbol eng symbol;
+         step_trace eng (get_trace eng (Array.unsafe_get traces k)) symbol
+       done
+     with
+    | () -> ()
+    | exception e ->
+        Obs.Span.exit sp;
+        raise e);
+    record_chunk eng ~n ~t0_us ~mw0 ~tripped0 ~retired0;
+    Obs.Span.attr sp "events" n;
+    Obs.Span.attr sp "tripped" (eng.tripped - tripped0);
+    Obs.Span.attr sp "retired_admissible" (eng.retired_ok - retired0);
+    Obs.Span.exit sp
+  end
 
 let reset eng =
   eng.events <- 0;

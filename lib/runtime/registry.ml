@@ -1,11 +1,28 @@
 module Formula = Sl_ltl.Formula
 module Translate = Sl_ltl.Translate
+module Obs = Sl_obs.Obs
+
+(* Registry telemetry (recorded only while Sl_obs is enabled): property
+   compilations, hash-cons effectiveness, and per-property compile
+   latency. Counters aggregate across all registries of the process. *)
+let m_props = Obs.Metrics.counter "registry_props_total"
+let m_monitors = Obs.Metrics.counter "registry_monitors_total"
+let m_hashcons_hits = Obs.Metrics.counter "registry_hashcons_hits_total"
+let h_compile_ns = Obs.Metrics.histogram "registry_compile_ns"
 
 type prop = {
   id : int;
   name : string;
   formula : Formula.t option;
   monitor : int;
+}
+
+(* Declared before [t] so [t]'s own [props] field wins record-label
+   disambiguation below. *)
+type stats = {
+  props : int;
+  distinct_monitors : int;
+  hashcons_hits : int;
 }
 
 type t = {
@@ -29,6 +46,9 @@ let create ?(alphabet = 2) ?(valuation = default_valuation) () =
 let nprops t = t.nprops
 let nmonitors t = t.nmonitors
 let hits t = t.hits
+
+let stats t =
+  { props = t.nprops; distinct_monitors = t.nmonitors; hashcons_hits = t.hits }
 let prop t i = t.props.(i)
 let monitor_of_prop t i = t.props.(i).monitor
 let monitors t = Array.sub t.monitors 0 t.nmonitors
@@ -48,8 +68,10 @@ let intern_monitor t pd =
   match Hashtbl.find_opt t.keys (Packed_dfa.key pd) with
   | Some id ->
       t.hits <- t.hits + 1;
+      Obs.Metrics.incr m_hashcons_hits;
       id
   | None ->
+      Obs.Metrics.incr m_monitors;
       if t.nmonitors = Array.length t.monitors then begin
         let cap = max 8 (2 * t.nmonitors) in
         let a = Array.make cap pd in
@@ -62,19 +84,42 @@ let intern_monitor t pd =
       Hashtbl.add t.keys (Packed_dfa.key pd) id;
       id
 
+(* Compile one property under a [registry.compile] span, recording the
+   compile latency and whether the packed table was a hash-cons hit. *)
+let compile_prop t ~name ~formula ~translate =
+  let sp = Obs.Span.enter "registry.compile" in
+  let t0 = if Obs.is_enabled () then Obs.Clock.now_us () else 0. in
+  match
+    let b = translate () in
+    let pd = Packed_dfa.of_buchi b in
+    let hits0 = t.hits in
+    let monitor = intern_monitor t pd in
+    (pd, monitor, t.hits > hits0)
+  with
+  | exception e ->
+      Obs.Span.exit sp;
+      raise e
+  | pd, monitor, hit ->
+      if Obs.is_enabled () then begin
+        Obs.Metrics.observe h_compile_ns
+          (int_of_float ((Obs.Clock.now_us () -. t0) *. 1e3));
+        Obs.Span.attr sp "monitor" monitor;
+        Obs.Span.attr sp "states" pd.Packed_dfa.nstates;
+        Obs.Span.attr sp "hashcons_hit" (if hit then 1 else 0)
+      end;
+      Obs.Metrics.incr m_props;
+      Obs.Span.exit sp;
+      let id = t.nprops in
+      push_prop t { id; name; formula; monitor };
+      id
+
 let add_buchi t ~name b =
-  let monitor = intern_monitor t (Packed_dfa.of_buchi b) in
-  let id = t.nprops in
-  push_prop t { id; name; formula = None; monitor };
-  id
+  compile_prop t ~name ~formula:None ~translate:(fun () -> b)
 
 let add_formula t ?name f =
   let name = match name with Some n -> n | None -> Formula.to_string f in
-  let b = Translate.translate ~alphabet:t.alphabet ~valuation:t.valuation f in
-  let monitor = intern_monitor t (Packed_dfa.of_buchi b) in
-  let id = t.nprops in
-  push_prop t { id; name; formula = Some f; monitor };
-  id
+  compile_prop t ~name ~formula:(Some f) ~translate:(fun () ->
+      Translate.translate ~alphabet:t.alphabet ~valuation:t.valuation f)
 
 (* Property-file loading. One LTL formula per line; blank lines and
    '#'-comments are skipped. A malformed line is reported with its

@@ -43,6 +43,18 @@ val nmonitors : t -> int
 val hits : t -> int
 (** Hash-cons hits: properties that reused an existing monitor. *)
 
+type stats = {
+  props : int;  (** total properties compiled into the registry *)
+  distinct_monitors : int;  (** deduplicated compiled-monitor count *)
+  hashcons_hits : int;
+      (** [props - distinct_monitors]: compilations that reused an
+          existing packed table — the hash-cons effectiveness, reported
+          directly instead of being observable only as the difference *)
+}
+
+val stats : t -> stats
+(** Total vs deduplicated compiled-monitor counts in one snapshot. *)
+
 val prop : t -> int -> prop
 val props : t -> prop list
 val monitor_of_prop : t -> int -> int

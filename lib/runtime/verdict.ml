@@ -23,11 +23,54 @@ type row = {
   verdicts : (Registry.prop * Engine.verdict) list;
 }
 
+type engine_metrics = {
+  m_events : int;
+  m_chunks : int;
+  m_retired_tripped : int;
+  m_retired_admissible : int;
+  m_live : int;
+  m_vacuous : int;
+  m_registry_props : int;
+  m_distinct_monitors : int;
+  m_hashcons_hits : int;
+  m_chunk_latency_count : int;
+  m_chunk_latency_sum_ns : int;
+  m_minor_words : int;
+}
+
 type report = {
   counters : counters;
   prop_summaries : prop_summary list;
   rows : row list;
+  engine_metrics : engine_metrics option;
 }
+
+(* Snapshot the Sl_obs engine/registry metrics into a report-attachable
+   record. Engine/registry state supplies the structural numbers; the
+   observability kernel supplies what only it can see (chunk latency,
+   allocation). Meaningful only while Sl_obs is enabled — counters read 0
+   otherwise, which is why [make] attaches this snapshot conditionally. *)
+let engine_metrics_now ~registry ~engine =
+  let module Obs = Sl_obs.Obs in
+  let v name = Option.value ~default:0 (Obs.Metrics.value name) in
+  let hcount, hsum =
+    match Obs.Metrics.histogram_stats "engine_chunk_latency_ns" with
+    | Some (c, s) -> (c, s)
+    | None -> (0, 0)
+  in
+  let rs = Registry.stats registry in
+  { m_events = Engine.events engine;
+    m_chunks = v "engine_chunks_total";
+    m_retired_tripped = Engine.tripped engine;
+    m_retired_admissible = Engine.retired_admissible engine;
+    m_live = Engine.live engine;
+    m_vacuous = Engine.nvacuous engine;
+    m_registry_props = rs.Registry.props;
+    m_distinct_monitors = rs.Registry.distinct_monitors;
+    m_hashcons_hits = rs.Registry.hashcons_hits;
+    m_chunk_latency_count = hcount;
+    m_chunk_latency_sum_ns = hsum;
+    m_minor_words = v "engine_minor_words_total" }
 
 let make ~registry ~engine ~trace_name ?elapsed_s () =
   let props = Registry.props registry in
@@ -75,7 +118,11 @@ let make ~registry ~engine ~trace_name ?elapsed_s () =
         | Some dt when dt > 0. -> Some (float_of_int events /. dt)
         | _ -> None) }
   in
-  { counters; prop_summaries; rows }
+  let engine_metrics =
+    if Sl_obs.Obs.is_enabled () then Some (engine_metrics_now ~registry ~engine)
+    else None
+  in
+  { counters; prop_summaries; rows; engine_metrics }
 
 let verdict_to_string = function
   | Engine.Vacuous -> "vacuous"
@@ -156,6 +203,20 @@ let to_json r =
     (match c.events_per_s with
     | Some r -> Printf.sprintf ", \"events_per_s\": %.1f" r
     | None -> "");
+  (* Present only when the run had observability enabled, so disabled-mode
+     output stays byte-identical to the pre-telemetry schema. *)
+  (match r.engine_metrics with
+  | None -> ()
+  | Some m ->
+      p "  \"engine_metrics\": {\"events\": %d, \"chunks\": %d, \
+         \"retired_tripped\": %d, \"retired_admissible\": %d, \"live\": %d, \
+         \"vacuous\": %d, \"registry_props\": %d, \"distinct_monitors\": %d, \
+         \"hashcons_hits\": %d, \"chunk_latency_count\": %d, \
+         \"chunk_latency_sum_ns\": %d, \"minor_words_total\": %d},\n"
+        m.m_events m.m_chunks m.m_retired_tripped m.m_retired_admissible
+        m.m_live m.m_vacuous m.m_registry_props m.m_distinct_monitors
+        m.m_hashcons_hits m.m_chunk_latency_count m.m_chunk_latency_sum_ns
+        m.m_minor_words);
   p "  \"props\": [\n";
   List.iteri
     (fun i s ->

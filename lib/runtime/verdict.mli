@@ -32,10 +32,31 @@ type row = {
   verdicts : (Registry.prop * Engine.verdict) list;
 }
 
+type engine_metrics = {
+  m_events : int;
+  m_chunks : int;  (** [Engine.feed]/[step] calls observed *)
+  m_retired_tripped : int;
+  m_retired_admissible : int;
+  m_live : int;
+  m_vacuous : int;
+  m_registry_props : int;
+  m_distinct_monitors : int;
+  m_hashcons_hits : int;
+  m_chunk_latency_count : int;  (** chunk-latency histogram count *)
+  m_chunk_latency_sum_ns : int;  (** chunk-latency histogram sum *)
+  m_minor_words : int;  (** minor words allocated across observed chunks *)
+}
+(** Telemetry snapshot attached to a report when {!Sl_obs.Obs} was
+    enabled during the run; surfaces in JSON as ["engine_metrics"]. *)
+
 type report = {
   counters : counters;
   prop_summaries : prop_summary list;
   rows : row list;
+  engine_metrics : engine_metrics option;
+      (** [Some] iff observability was enabled when {!make} ran —
+          absent otherwise so disabled-mode JSON is byte-identical to
+          the pre-telemetry schema. *)
 }
 
 val make :

@@ -1,8 +1,9 @@
 #!/bin/sh
 # CI smoke: build everything (library, CLI, examples, bench harness),
-# run the full test suite, run every example program, exercise the CLI,
-# then regenerate the benchmark trajectory JSON (writes BENCH_PR3.json
-# at the repo root, with ratios against the tracked BENCH_PR2.json).
+# run the full test suite, run every example program, exercise the CLI
+# (including the observability surface: --metrics / --trace-out), then
+# regenerate the benchmark trajectory JSON (writes BENCH_PR4.json at the
+# repo root, with ratios against the tracked BENCH_PR3.json).
 # Run from the repository root.
 set -eu
 
@@ -33,6 +34,42 @@ echo "$out" | grep -q \
   "summary: traces=2 events=7 props=5 monitors=3 violations=3 vacuous=2 live=1 tripped=2 retired_admissible=1"
 echo "$out" | grep -q "VIOLATION G (a -> X !a) at event 4"
 echo "$out" | grep -Fq 'props: 5 loaded, 3 distinct monitor(s), 2 vacuous'
+
+# Observability smoke: the same run with metrics collection on must keep
+# the same exit code and verdict summary, print the engine/registry
+# metric families in the Prometheus exposition, and emit well-formed
+# trace-event JSONL (one JSON object per line).
+echo "--- slc monitor --metrics smoke"
+trace_out=$(mktemp /tmp/slc-ci.XXXXXX.trace.jsonl)
+status=0
+mout=$(dune exec bin/slc.exe -- monitor --props examples/monitor.props \
+         --trace examples/monitor.events --metrics - \
+         --trace-out "$trace_out") || status=$?
+[ "$status" -eq 1 ]
+echo "$mout" | grep -q \
+  "summary: traces=2 events=7 props=5 monitors=3 violations=3 vacuous=2 live=1 tripped=2 retired_admissible=1"
+for metric in engine_events_total engine_chunks_total \
+              engine_retired_tripped_total engine_retired_admissible_total \
+              engine_live_monitors engine_chunk_latency_ns_count \
+              engine_minor_words_total registry_props_total \
+              registry_monitors_total registry_hashcons_hits_total \
+              registry_compile_ns_count ltl_translate_runs_total \
+              nfa_determinize_runs_total digraph_scc_runs_total; do
+  echo "$mout" | grep -q "^$metric" \
+    || { echo "missing metric: $metric"; exit 1; }
+done
+echo "$mout" | grep -q "^engine_events_total 7$"
+echo "$mout" | grep -q "^registry_hashcons_hits_total 2$"
+python3 -c '
+import json, sys
+lines = [l for l in open(sys.argv[1]) if l.strip()]
+assert lines, "trace JSONL is empty"
+for l in lines:
+    ev = json.loads(l)
+    assert ev["ph"] == "X" and "name" in ev and "dur" in ev, ev
+print(f"trace JSONL ok: {len(lines)} events")
+' "$trace_out"
+rm -f "$trace_out"
 
 # Bench smoke + perf trajectory.
 dune exec bench/main.exe -- bench json

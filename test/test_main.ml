@@ -17,6 +17,7 @@ let () =
       ("mu", Test_mu.tests);
       ("regex", Test_regex.tests);
       ("runtime", Test_runtime.tests);
+      ("obs", Test_obs.tests);
       ("acceptance", Test_acceptance.tests);
       ("properties", Test_properties.tests);
       ("integration", Test_integration.tests) ]
