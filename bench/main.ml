@@ -4,7 +4,7 @@
      dune exec bench/main.exe              # all artifacts + all timings
      dune exec bench/main.exe ARTIFACT     # one artifact, no timings
      dune exec bench/main.exe bench        # timings only
-     dune exec bench/main.exe bench json   # timings -> BENCH_PR4.json
+     dune exec bench/main.exe bench json   # timings -> BENCH_PR5.json
 
    Artifacts (the paper's figures/tables, regenerated from scratch; see
    EXPERIMENTS.md for the mapping): fig1 fig2 rem ctl rabin
@@ -14,15 +14,17 @@
    paper itself contains no performance numbers, so these series document
    the cost of each reproduction algorithm (closure, decomposition,
    complementation, translation, model checking) and of the two ablations
-   called out in DESIGN.md §5.
+   called out in DESIGN.md §5. The PARALLEL group times the four
+   Pool-parallelized paths (engine, registry compilation, rank-based
+   complementation, theorem sweep) at 1/2/4 domains on identical inputs.
 
-   [bench json] additionally writes the estimates to BENCH_PR4.json
+   [bench json] additionally writes the estimates to BENCH_PR5.json
    together with automaton-size counters, speedups against the seed,
-   ratios against the tracked BENCH_PR3.json for every bench name the
-   two runs share, and per-group Sl_obs span summaries from one
-   instrumented pass over representative inputs: this is the perf
-   trajectory future PRs regress against (see DESIGN.md "Performance
-   architecture"). *)
+   ratios against the most recent tracked BENCH_PR*.json for every bench
+   name the two runs share, the parallel scaling curves, and per-group
+   Sl_obs span summaries from one instrumented pass over representative
+   inputs: this is the perf trajectory future PRs regress against (see
+   DESIGN.md "Performance architecture"). *)
 
 module Lattice = Sl_lattice.Lattice
 module Named = Sl_lattice.Named
@@ -219,6 +221,28 @@ let monitor_trace_ids = Array.make 10_000 0
 let monitor_engine =
   Sl_runtime.Engine.create
     ~monitors:(Sl_runtime.Registry.monitors monitor_registry)
+    ()
+
+(* PARALLEL fixtures: the same 100-monitor fleet fed 10k events spread
+   round-robin over 16 concurrent traces (single-trace feeds cannot
+   shard — trace id is the unit of parallelism), one pre-built engine
+   per pool width so the series time stepping, not engine setup. The
+   jobs ladder is shared by all four parallelized paths. *)
+let parallel_jobs_ladder = [ 1; 2; 4 ]
+
+let multi_trace_ids = Array.init 10_000 (fun i -> i mod 16)
+
+let monitor_engines_by_jobs =
+  List.map
+    (fun jobs ->
+      ( jobs,
+        Sl_runtime.Engine.create ~jobs
+          ~monitors:(Sl_runtime.Registry.monitors monitor_registry)
+          () ))
+    parallel_jobs_ladder
+
+let fleet_named_props = List.map (fun f -> (None, f)) monitor_fleet_props
+let complement_input = Lexamples.automaton (Formula.parse_exn "F a")
 
 (* Disabled-kernel probes for the OBS overhead budget (DESIGN.md §6.8):
    these time the dark-mode cost of an instrumented call site — one
@@ -239,6 +263,7 @@ let monitor_steady_minor_words_per_event () =
   let eng =
     Sl_runtime.Engine.create
       ~monitors:(Sl_runtime.Registry.monitors monitor_registry)
+      ()
   in
   let feed () =
     Sl_runtime.Engine.feed eng ~n:10_000 ~traces:monitor_trace_ids
@@ -443,6 +468,30 @@ let make_tests () =
             Ops.intersect_full (fst lockstep_pair) (snd lockstep_pair)) ];
       [ t "buchi/rank-complement-3-seedref" (fun () ->
             Complement.rank_based_ref (random_automaton 3)) ];
+      (* PARALLEL: the four Pool-parallelized hot paths at every rung of
+         the jobs ladder, identical inputs per rung — the scaling curves
+         the JSON trajectory records. On a 1-core container the curves
+         are flat-to-inverted (domains time-slice one CPU); the series
+         still pin the parallel paths' overhead and feed the
+         byte-identity cross-checks in CI. *)
+      List.concat_map
+        (fun jobs ->
+          let eng = List.assoc jobs monitor_engines_by_jobs in
+          [ t (Printf.sprintf "parallel/engine-100x10k-16tr/j%d" jobs)
+              (fun () ->
+                Sl_runtime.Engine.reset eng;
+                Sl_runtime.Engine.feed eng ~n:10_000
+                  ~traces:multi_trace_ids ~symbols:monitor_trace_syms ());
+            t (Printf.sprintf "parallel/registry-compile-100/j%d" jobs)
+              (fun () ->
+                let r = Sl_runtime.Registry.create ~alphabet:2 () in
+                Sl_runtime.Registry.compile_all ~jobs r fleet_named_props);
+            t (Printf.sprintf "parallel/rank-complement-Fa/j%d" jobs)
+              (fun () -> Complement.rank_based ~jobs complement_input);
+            t (Printf.sprintf "parallel/theorems-bool3/j%d" jobs)
+              (fun () ->
+                Finite_check.check_all_closures ~jobs (Named.boolean 3)) ])
+        parallel_jobs_ladder;
       (* Structural hierarchy classification. *)
       [ t "hierarchy/classify-128" (fun () ->
             Sl_buchi.Hierarchy.classify_structural (random_automaton 128)) ];
@@ -580,7 +629,7 @@ let span_summaries () =
     (fun f -> ignore (Sl_runtime.Registry.add_formula r f))
     monitor_fleet_props;
   let eng =
-    Sl_runtime.Engine.create ~monitors:(Sl_runtime.Registry.monitors r)
+    Sl_runtime.Engine.create ~monitors:(Sl_runtime.Registry.monitors r) ()
   in
   Sl_runtime.Engine.feed eng ~n:10_000 ~traces:monitor_trace_ids
     ~symbols:monitor_trace_syms ();
@@ -618,6 +667,37 @@ let read_prev_results path =
     close_in ic;
     Some (List.rev !acc)
   end
+
+(* Baseline chaining (the perf trajectory): prefer the previous PR's
+   tracked file, fall back through the older ones so a pruned checkout
+   still gets a baseline instead of an empty section. The chosen file is
+   recorded in the output as "baseline_file" (null when none found). *)
+let baseline_chain =
+  [ "BENCH_PR4.json"; "BENCH_PR3.json"; "BENCH_PR2.json"; "BENCH_PR1.json" ]
+
+let read_baseline () =
+  List.find_map
+    (fun path ->
+      match read_prev_results path with
+      | Some results -> Some (path, results)
+      | None -> None)
+    baseline_chain
+
+(* Every bench record carries the pool width it ran at: the PARALLEL
+   series encode it in their (.../jN) names; everything else runs at the
+   process default of 1. *)
+let jobs_of_bench_name name =
+  match String.rindex_opt name '/' with
+  | Some i
+    when i + 2 <= String.length name - 1
+         && name.[i + 1] = 'j' ->
+      (match
+         int_of_string_opt
+           (String.sub name (i + 2) (String.length name - i - 2))
+       with
+      | Some j when j >= 1 -> j
+      | _ -> 1)
+  | _ -> 1
 
 let json_escape s =
   let buf = Buffer.create (String.length s) in
@@ -663,11 +743,11 @@ let run_benchmarks_json ~path =
               baseline)
       estimates
   in
-  let prev = read_prev_results "BENCH_PR3.json" in
+  let baseline = read_baseline () in
   let vs_prev =
-    match prev with
+    match baseline with
     | None -> []
-    | Some prev ->
+    | Some (_, prev) ->
         List.filter_map
           (fun (name, est) ->
             match (est, List.assoc_opt name prev) with
@@ -675,17 +755,42 @@ let run_benchmarks_json ~path =
             | _ -> None)
           estimates
   in
+  (* Parallel scaling curves: for every PARALLEL base name, the ns at
+     each rung of the jobs ladder plus the j1-relative speedups. *)
+  let scaling =
+    let bases =
+      [ "parallel/engine-100x10k-16tr"; "parallel/registry-compile-100";
+        "parallel/rank-complement-Fa"; "parallel/theorems-bool3" ]
+    in
+    List.filter_map
+      (fun base ->
+        let at j = lookup (Printf.sprintf "%s/j%d" base j) in
+        match at 1 with
+        | None -> None
+        | Some ns1 ->
+            Some
+              ( base,
+                ns1,
+                List.filter_map
+                  (fun j ->
+                    Option.map (fun ns -> (j, ns, ns1 /. ns)) (at j))
+                  (List.filter (fun j -> j > 1) parallel_jobs_ladder) ))
+      bases
+  in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
   p "  \"schema\": \"sl-bench-trajectory/1\",\n";
-  p "  \"pr\": \"PR4\",\n";
+  p "  \"pr\": \"PR5\",\n";
   p "  \"config\": {\"quota_s\": 0.25, \"limit\": 1000, \"estimator\": \"ols\"},\n";
+  p "  \"cores\": %d,\n" (Domain.recommended_domain_count ());
   p "  \"results\": [\n";
   let sorted = List.sort (fun (a, _) (b, _) -> compare a b) estimates in
   List.iteri
     (fun i (name, est) ->
-      p "    {\"name\": \"%s\", \"ns_per_run\": %s}%s\n" (json_escape name)
+      p "    {\"name\": \"%s\", \"ns_per_run\": %s, \"jobs\": %d}%s\n"
+        (json_escape name)
         (match est with Some x -> Printf.sprintf "%.1f" x | None -> "null")
+        (jobs_of_bench_name name)
         (if i = List.length sorted - 1 then "" else ","))
     sorted;
   p "  ],\n";
@@ -706,15 +811,35 @@ let run_benchmarks_json ~path =
         (if i = List.length speedups - 1 then "" else ","))
     speedups;
   p "  ],\n";
-  p "  \"speedups_vs_pr3\": [\n";
+  p "  \"baseline_file\": %s,\n"
+    (match baseline with
+    | Some (path, _) -> Printf.sprintf "\"%s\"" (json_escape path)
+    | None -> "null");
+  p "  \"speedups_vs_pr4\": [\n";
   List.iteri
     (fun i (name, ns, base, ratio) ->
       p
-        "    {\"name\": \"%s\", \"ns_per_run\": %.1f, \"pr3_ns_per_run\": \
+        "    {\"name\": \"%s\", \"ns_per_run\": %.1f, \"prev_ns_per_run\": \
          %.1f, \"speedup\": %.2f}%s\n"
         (json_escape name) ns base ratio
         (if i = List.length vs_prev - 1 then "" else ","))
     vs_prev;
+  p "  ],\n";
+  p "  \"parallel_scaling\": [\n";
+  List.iteri
+    (fun i (base, ns1, rungs) ->
+      let rung_fields =
+        String.concat ""
+          (List.map
+             (fun (j, ns, sp) ->
+               Printf.sprintf
+                 ", \"ns_j%d\": %.1f, \"speedup_j%d\": %.2f" j ns j sp)
+             rungs)
+      in
+      p "    {\"name\": \"%s\", \"ns_j1\": %.1f%s}%s\n" (json_escape base)
+        ns1 rung_fields
+        (if i = List.length scaling - 1 then "" else ","))
+    scaling;
   p "  ],\n";
   let spans = span_summaries () in
   p "  \"span_summaries\": [\n";
@@ -728,10 +853,12 @@ let run_benchmarks_json ~path =
   p "}\n";
   close_out oc;
   Format.printf
-    "wrote %s (%d results, %d counters, %d speedups vs seed, %d vs PR3, \
-     %d span groups)@."
+    "wrote %s (%d results, %d counters, %d speedups vs seed, %d vs %s, \
+     %d scaling curves, %d span groups)@."
     path (List.length estimates) (List.length counters)
-    (List.length speedups) (List.length vs_prev) (List.length spans)
+    (List.length speedups) (List.length vs_prev)
+    (match baseline with Some (p, _) -> p | None -> "none")
+    (List.length scaling) (List.length spans)
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
@@ -740,7 +867,7 @@ let () =
       List.iter (fun (_, f) -> f ()) artifacts;
       run_benchmarks ()
   | [ "bench" ] -> run_benchmarks ()
-  | [ "bench"; "json" ] -> run_benchmarks_json ~path:"BENCH_PR4.json"
+  | [ "bench"; "json" ] -> run_benchmarks_json ~path:"BENCH_PR5.json"
   | [ "bench"; "json"; path ] -> run_benchmarks_json ~path
   | names ->
       List.iter

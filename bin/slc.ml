@@ -32,6 +32,19 @@ let parse_formula s =
    dumps the buffered spans as trace-event JSON lines. With neither flag
    the kernel stays dark and subcommands behave exactly as before. *)
 module Obs = Sl_obs.Obs
+module Pool = Sl_core.Pool
+
+let jobs_arg =
+  let doc =
+    "Domains for the parallel execution kernel: the engine, registry \
+     compilation, complementation and the theorem sweeps fan out over \
+     $(docv) domains. Output is byte-identical at every value. Defaults \
+     to the $(b,SLC_JOBS) environment variable, else 1."
+  in
+  Arg.(
+    value
+    & opt int (Pool.default_jobs ())
+    & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 
 let metrics_arg =
   let doc =
@@ -64,27 +77,37 @@ let dump_trace file =
     ~finally:(fun () -> close_out_noerr oc)
     (fun () -> Obs.Span.write_jsonl oc)
 
-let with_obs metrics trace_out run =
-  match (metrics, trace_out) with
-  | None, None -> run ()
-  | _ ->
-      Obs.enable ();
-      let code =
-        match run () with
-        | code -> code
-        | exception e ->
-            Obs.disable ();
-            raise e
-      in
-      flush stdout;
-      Option.iter dump_metrics metrics;
-      Option.iter dump_trace trace_out;
-      Obs.disable ();
-      code
+let with_obs jobs metrics trace_out run =
+  if jobs < 1 then begin
+    Format.eprintf "slc: --jobs must be >= 1@.";
+    124
+  end
+  else begin
+    Pool.set_default_jobs jobs;
+    match (metrics, trace_out) with
+    | None, None -> run ()
+    | _ ->
+        Obs.enable ();
+        let code =
+          match run () with
+          | code -> code
+          | exception e ->
+              Obs.disable ();
+              raise e
+        in
+        flush stdout;
+        Option.iter dump_metrics metrics;
+        Option.iter dump_trace trace_out;
+        Obs.disable ();
+        code
+  end
 
 (* Lift a [unit -> int] subcommand term into one that honours the
-   observability flags. *)
-let obs_term term = Term.(const with_obs $ metrics_arg $ trace_out_arg $ term)
+   shared flags: [-j] sets the process-wide default pool width before
+   the subcommand runs, [--metrics]/[--trace-out] wrap it in the
+   observability kernel. *)
+let obs_term term =
+  Term.(const with_obs $ jobs_arg $ metrics_arg $ trace_out_arg $ term)
 
 let classify_cmd =
   let run s =
@@ -297,7 +320,7 @@ let monitor_stream ~props_file ~trace_file ~json =
     2
   end
   else begin
-    let engine = Engine.create ~monitors:(Registry.monitors registry) in
+    let engine = Engine.create ~monitors:(Registry.monitors registry) () in
     let ingest = Ingest.create () in
     let trace_errors = ref 0 in
     let source, ic, close =
@@ -392,6 +415,40 @@ let monitor_cmd =
          $ props_arg $ trace_file_arg $ json_arg $ formula_opt_arg
          $ trace_pos_arg))
 
+let complement_cmd =
+  let max_states_arg =
+    let doc = "Abort if the complement's construction exceeds $(docv) \
+               ranking states." in
+    Arg.(value & opt int 200_000 & info [ "max-states" ] ~docv:"N" ~doc)
+  in
+  let run s max_states =
+    match parse_formula s with
+    | Error (`Msg m) -> prerr_endline m; 1
+    | Ok f -> (
+        let b = Examples.automaton f in
+        match Sl_buchi.Complement.rank_based ~max_states b with
+        | c ->
+            let count a =
+              Array.fold_left (fun n x -> if x then n + 1 else n) 0 a
+            in
+            Format.printf "property: %s@." (Formula.to_string f);
+            Format.printf "B: %s@." (Buchi.size_info b);
+            Format.printf "complement (rank-based): %s@.%a@."
+              (Buchi.size_info c) Buchi.pp c;
+            Format.printf "complement reachable: %d, live: %d@."
+              (count (Buchi.reachable c))
+              (count (Buchi.live_states c));
+            0
+        | exception Invalid_argument m -> prerr_endline m; 1)
+  in
+  Cmd.v
+    (Cmd.info "complement"
+       ~doc:
+         "Complement an LTL property's Büchi automaton via the rank-based \
+          construction and print the result")
+    (obs_term
+       Term.(const (fun s m () -> run s m) $ formula_arg $ max_states_arg))
+
 let regex_cmd =
   let regex_arg =
     let doc = "An omega-regular expression, e.g. \"(a|b)*(b)^w\"." in
@@ -471,4 +528,5 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ classify_cmd; decompose_cmd; stats_cmd; rem_cmd; ctl_cmd;
-            dot_cmd; theorems_cmd; monitor_cmd; regex_cmd; modelcheck_cmd ]))
+            dot_cmd; theorems_cmd; monitor_cmd; complement_cmd; regex_cmd;
+            modelcheck_cmd ]))

@@ -195,39 +195,44 @@ let check_theorem8 l ~cl1 ~cl2 =
             failf "theorem 8 violated at q=%d, r=%d: %s" q r what
       end
 
-let check_all_closures l =
-  let closures = Closure.all l in
-  let failures = ref [] in
-  let note label = function
-    | Ok () -> ()
-    | Error msg -> failures := (label, Error msg) :: !failures
+(* The exhaustive sweep quantifies over every closure operator (and
+   every ordered pair of them) — independent pure checks, so they fan
+   out across a domain pool: one order-preserving [map_reduce] over the
+   closures, one over the pair index space. Each map returns that
+   (closure | pair)'s failures in the sequential code's emission order
+   and the reduce is list append folded in index order, so the report
+   list is byte-identical at every [jobs]. *)
+let check_all_closures ?jobs l =
+  let pool = Pool.create ?jobs () in
+  let closures = Array.of_list (Closure.all l) in
+  let nc = Array.length closures in
+  let distributive = Lattice.is_distributive l in
+  let note label r = match r with Ok () -> [] | Error _ -> [ (label, r) ] in
+  let single i =
+    let cl = closures.(i) in
+    List.concat
+      [ note (Printf.sprintf "thm2[cl%d]" i) (check_theorem2 l cl);
+        note (Printf.sprintf "thm6[cl%d]" i) (check_theorem6 l ~cl1:cl ~cl2:cl);
+        (if distributive then
+           note (Printf.sprintf "thm7[cl%d]" i) (check_theorem7 l ~cl1:cl ~cl2:cl)
+         else []);
+        (if distributive then
+           note (Printf.sprintf "thm8[cl%d]" i) (check_theorem8 l ~cl1:cl ~cl2:cl)
+         else []) ]
   in
-  List.iteri
-    (fun i cl ->
-      note (Printf.sprintf "thm2[cl%d]" i) (check_theorem2 l cl);
-      note (Printf.sprintf "thm6[cl%d]" i) (check_theorem6 l ~cl1:cl ~cl2:cl);
-      if Lattice.is_distributive l then begin
-        note (Printf.sprintf "thm7[cl%d]" i)
-          (check_theorem7 l ~cl1:cl ~cl2:cl);
-        note (Printf.sprintf "thm8[cl%d]" i)
-          (check_theorem8 l ~cl1:cl ~cl2:cl)
-      end)
-    closures;
-  List.iteri
-    (fun i cl1 ->
-      List.iteri
-        (fun j cl2 ->
-          if Closure.pointwise_leq cl1 cl2 then begin
-            note
-              (Printf.sprintf "thm3[cl%d<=cl%d]" i j)
-              (check_theorem3 l ~cl1 ~cl2);
-            note
-              (Printf.sprintf "thm5[cl%d<=cl%d]" i j)
-              (check_theorem5 l ~cl1 ~cl2)
-          end)
-        closures)
-    closures;
-  match !failures with [] -> [ ("all", Ok ()) ] | fs -> List.rev fs
+  let pair k =
+    let i = k / nc and j = k mod nc in
+    let cl1 = closures.(i) and cl2 = closures.(j) in
+    if not (Closure.pointwise_leq cl1 cl2) then []
+    else
+      note (Printf.sprintf "thm3[cl%d<=cl%d]" i j) (check_theorem3 l ~cl1 ~cl2)
+      @ note (Printf.sprintf "thm5[cl%d<=cl%d]" i j) (check_theorem5 l ~cl1 ~cl2)
+  in
+  let failures =
+    Pool.map_reduce pool ~n:nc ~map:single ~reduce:( @ ) []
+    @ Pool.map_reduce pool ~n:(nc * nc) ~map:pair ~reduce:( @ ) []
+  in
+  match failures with [] -> [ ("all", Ok ()) ] | fs -> fs
 
 let lemma6_fig1 () =
   let l = Named.n5 in

@@ -2,13 +2,27 @@
    point checks the single global [on] flag first and falls through in a
    couple of instructions when collection is off, so the instrumented
    hot paths of the decision pipeline and the runtime engine pay one
-   boolean load. See DESIGN.md §6.8 for the overhead budget. *)
+   boolean load. See DESIGN.md §6.8 for the overhead budget.
 
-let on = ref false
+   Domain-safety (§6.9): instrumented code now also runs inside
+   Sl_core.Pool worker domains, so every recording cell is an [Atomic]
+   — the flag, the metric cells, the clock's monotonicity clamp. The
+   disabled path is still a single load ([Atomic.get] of the flag
+   compiles to a plain read). Spans keep their single mutable stack and
+   are recorded only on the domain that initialized the kernel (the
+   main domain); [Span.enter] on a worker domain hands out the inert
+   token, so worker-side spans are dropped rather than racing. *)
 
-let is_enabled () = !on
-let enable () = on := true
-let disable () = on := false
+let on = Atomic.make false
+
+let is_enabled () = Atomic.get on
+let enable () = Atomic.set on true
+let disable () = Atomic.set on false
+
+(* The obs library is linked and initialized from the main domain;
+   worker domains spawned later compare against this id. *)
+let main_domain : int = (Domain.self () :> int)
+let on_main_domain () = (Domain.self () :> int) = main_domain
 
 (* ------------------------------------------------------------------ *)
 (* Clock                                                               *)
@@ -17,33 +31,37 @@ let disable () = on := false
 module Clock = struct
   (* [Unix.gettimeofday] is a wall clock, not a monotonic one; spans
      must never see time run backwards, so readings are clamped to be
-     non-decreasing. Tests install deterministic sources. *)
+     non-decreasing. Tests install deterministic sources. The clamp and
+     the epoch are atomics so worker-domain histogram timings can read
+     the clock concurrently: the clamp advances by compare-and-set
+     (retrying readers observe the value that beat them), the epoch is
+     set once by whichever reading comes first. *)
   let default_source = Unix.gettimeofday
 
   let source = ref default_source
-  let last = ref neg_infinity
-  let epoch = ref nan
+  let last = Atomic.make neg_infinity
+  let epoch = Atomic.make nan
 
-  let raw_now () =
+  let rec raw_now () =
     let t = !source () in
-    if t < !last then !last
-    else begin
-      last := t;
-      t
-    end
+    let l = Atomic.get last in
+    if t < l then l
+    else if Atomic.compare_and_set last l t then t
+    else raw_now ()
 
   let now_us () =
     let t = raw_now () in
-    if Float.is_nan !epoch then begin
-      epoch := t;
-      0.
-    end
-    else (t -. !epoch) *. 1e6
+    let e0 = Atomic.get epoch in
+    (* CAS compares boxes physically, so the expected value must be the
+       box just read, not a fresh [nan] literal. *)
+    if Float.is_nan e0 then ignore (Atomic.compare_and_set epoch e0 t);
+    let e = Atomic.get epoch in
+    (t -. e) *. 1e6
 
   let set_source f =
     source := f;
-    last := neg_infinity;
-    epoch := nan
+    Atomic.set last neg_infinity;
+    Atomic.set epoch nan
 
   let reset_source () = set_source default_source
 end
@@ -82,11 +100,18 @@ module Metrics = struct
   let nbuckets = 63
   let hslots = nbuckets + 1
 
+  (* Cells are individual [int Atomic.t]s so bumps from pool worker
+     domains neither tear nor lose increments. Registration (which may
+     swap the backing array) happens at module-initialization time on
+     the main domain, before any parallel region can be running — the
+     handles module initializers create are plain ints, so the arrays
+     are only read behind them afterwards. *)
   let registry : (string, meta) Hashtbl.t = Hashtbl.create 64
   let order : meta list ref = ref [] (* reversed registration order *)
-  let cells = ref (Array.make 64 0)
+  let acell _ = Atomic.make 0
+  let cells = ref (Array.init 64 acell)
   let ncells = ref 0
-  let hcells = ref (Array.make (4 * hslots) 0)
+  let hcells = ref (Array.init (4 * hslots) acell)
   let nhist = ref 0
 
   let kind_name = function
@@ -97,8 +122,11 @@ module Metrics = struct
   let grow a need =
     if need <= Array.length !a then ()
     else begin
-      let fresh = Array.make (max need (2 * Array.length !a)) 0 in
-      Array.blit !a 0 fresh 0 (Array.length !a);
+      let len = Array.length !a in
+      let fresh =
+        Array.init (max need (2 * len)) (fun i ->
+            if i < len then !a.(i) else acell i)
+      in
       a := fresh
     end
 
@@ -116,13 +144,15 @@ module Metrics = struct
           | Kcounter | Kgauge ->
               let i = !ncells in
               grow cells (i + 1);
-              !cells.(i) <- 0;
+              Atomic.set !cells.(i) 0;
               ncells := i + 1;
               i
           | Khistogram ->
               let base = !nhist * hslots in
               grow hcells (base + hslots);
-              Array.fill !hcells base hslots 0;
+              for i = base to base + hslots - 1 do
+                Atomic.set !hcells.(i) 0
+              done;
               incr nhist;
               base
         in
@@ -135,17 +165,19 @@ module Metrics = struct
   let gauge name : gauge = register name Kgauge
   let histogram name : histogram = register name Khistogram
 
-  (* The recording fast path: one flag check, then unsafe flat-array
-     writes (indices are valid by construction of the handles). *)
+  (* The recording fast path: one flag check, then one atomic
+     read-modify-write on the cell (indices are valid by construction
+     of the handles). Gauge sets race as last-write-wins, which is the
+     right semantics for a level. *)
   let incr (c : counter) =
-    if !on then
-      Array.unsafe_set !cells c (Array.unsafe_get !cells c + 1)
+    if Atomic.get on then Atomic.incr (Array.unsafe_get !cells c)
 
   let add (c : counter) v =
-    if !on then
-      Array.unsafe_set !cells c (Array.unsafe_get !cells c + v)
+    if Atomic.get on then
+      ignore (Atomic.fetch_and_add (Array.unsafe_get !cells c) v)
 
-  let set (g : gauge) v = if !on then Array.unsafe_set !cells g v
+  let set (g : gauge) v =
+    if Atomic.get on then Atomic.set (Array.unsafe_get !cells g) v
 
   let bucket_of v =
     if v <= 0 then 0
@@ -160,37 +192,35 @@ module Metrics = struct
     end
 
   let observe (h : histogram) v =
-    if !on then begin
+    if Atomic.get on then begin
       let cells = !hcells in
-      let b = h + bucket_of v in
-      Array.unsafe_set cells b (Array.unsafe_get cells b + 1);
-      let s = h + nbuckets in
-      Array.unsafe_set cells s (Array.unsafe_get cells s + v)
+      Atomic.incr (Array.unsafe_get cells (h + bucket_of v));
+      ignore (Atomic.fetch_and_add (Array.unsafe_get cells (h + nbuckets)) v)
     end
 
-  let counter_value (c : counter) = !cells.(c)
-  let gauge_value (g : gauge) = !cells.(g)
+  let counter_value (c : counter) = Atomic.get !cells.(c)
+  let gauge_value (g : gauge) = Atomic.get !cells.(g)
 
   let histogram_count (h : histogram) =
     let total = ref 0 in
     for i = h to h + nbuckets - 1 do
-      total := !total + !hcells.(i)
+      total := !total + Atomic.get !hcells.(i)
     done;
     !total
 
-  let histogram_sum (h : histogram) = !hcells.(h + nbuckets)
+  let histogram_sum (h : histogram) = Atomic.get !hcells.(h + nbuckets)
 
   let bucket_upper i = (1 lsl i) - 1 (* bucket 0 -> 0, bucket i -> 2^i - 1 *)
 
   let histogram_buckets (h : histogram) =
     let last_nonempty = ref (-1) in
     for i = 0 to nbuckets - 1 do
-      if !hcells.(h + i) > 0 then last_nonempty := i
+      if Atomic.get !hcells.(h + i) > 0 then last_nonempty := i
     done;
     let cum = ref 0 in
     let finite =
       List.init (!last_nonempty + 1) (fun i ->
-          cum := !cum + !hcells.(h + i);
+          cum := !cum + Atomic.get !hcells.(h + i);
           (Some (bucket_upper i), !cum))
     in
     finite @ [ (None, !cum) ]
@@ -201,7 +231,9 @@ module Metrics = struct
     | _ -> None
 
   let value name =
-    Option.map (fun m -> !cells.(m.index)) (find name [ Kcounter; Kgauge ])
+    Option.map
+      (fun m -> Atomic.get !cells.(m.index))
+      (find name [ Kcounter; Kgauge ])
 
   let histogram_stats name =
     Option.map
@@ -219,7 +251,7 @@ module Metrics = struct
       (fun m ->
         p "# TYPE %s %s\n" m.mname (kind_name m.kind);
         match m.kind with
-        | Kcounter | Kgauge -> p "%s %d\n" m.mname !cells.(m.index)
+        | Kcounter | Kgauge -> p "%s %d\n" m.mname (Atomic.get !cells.(m.index))
         | Khistogram ->
             List.iter
               (fun (ub, cum) ->
@@ -233,8 +265,12 @@ module Metrics = struct
     Buffer.contents buf
 
   let reset () =
-    Array.fill !cells 0 !ncells 0;
-    Array.fill !hcells 0 (!nhist * hslots) 0
+    for i = 0 to !ncells - 1 do
+      Atomic.set !cells.(i) 0
+    done;
+    for i = 0 to (!nhist * hslots) - 1 do
+      Atomic.set !hcells.(i) 0
+    done
 end
 
 (* ------------------------------------------------------------------ *)
@@ -324,8 +360,13 @@ module Span = struct
         a.total_us <- a.total_us +. ev.dur_us
     | None -> Hashtbl.add aggs ev.name { count = 1; total_us = ev.dur_us })
 
+  (* Spans keep one mutable stack + ring, owned by the main domain:
+     [enter] from a pool worker returns the inert token (making the
+     matching [attr]/[exit] no-ops), so worker-side spans are dropped
+     rather than corrupting the stack. The disabled path stays a single
+     flag load — the domain check runs only when collection is on. *)
   let enter name : token =
-    if not !on then none
+    if not (Atomic.get on) || not (on_main_domain ()) then none
     else begin
       let i = !depth in
       if i = Array.length !stack then begin

@@ -36,6 +36,7 @@ type t = {
   alphabet : int;
   nvacuous : int;
   npretripped : int;
+  jobs : int;
   mutable traces : trace option array;
   mutable ntraces : int;
   mutable events : int;
@@ -43,7 +44,11 @@ type t = {
   mutable retired_ok : int;
 }
 
-let create ~monitors =
+let create ?jobs ~monitors () =
+  let jobs =
+    match jobs with Some j -> j | None -> Sl_core.Pool.default_jobs ()
+  in
+  if jobs < 1 then invalid_arg "Engine.create: jobs must be >= 1";
   let alphabet =
     match Array.length monitors with
     | 0 -> 1
@@ -63,7 +68,7 @@ let create ~monitors =
       if pd.Packed_dfa.pre_tripped then incr npretripped)
     monitors;
   { monitors; alphabet; nvacuous = !nvacuous; npretripped = !npretripped;
-    traces = Array.make 4 None; ntraces = 0; events = 0; tripped = 0;
+    jobs; traces = Array.make 4 None; ntraces = 0; events = 0; tripped = 0;
     retired_ok = 0 }
 
 (* (Re)initialize a trace record in place: every non-vacuous monitor
@@ -146,6 +151,38 @@ let step_trace eng (tr : trace) symbol =
     end
   done
 
+(* The same per-event walk for the sharded parallel feed: engine-global
+   counters go into per-shard refs (summed into the engine after the
+   join) instead of the shared engine fields, which worker domains must
+   not touch. Per-trace state needs no such care — each trace belongs
+   to exactly one shard. *)
+let step_trace_sharded monitors (tr : trace) symbol ~tripped ~retired =
+  tr.events <- tr.events + 1;
+  let i = ref 0 in
+  while !i < tr.nlive do
+    let m = Array.unsafe_get tr.live !i in
+    let pd = Array.unsafe_get monitors m in
+    let s' =
+      Array.unsafe_get pd.Packed_dfa.trans
+        ((Array.unsafe_get tr.states m * pd.Packed_dfa.alphabet) + symbol)
+    in
+    if not (Array.unsafe_get pd.Packed_dfa.accepting s') then begin
+      Array.unsafe_set tr.tripped_at m tr.events;
+      incr tripped;
+      tr.nlive <- tr.nlive - 1;
+      Array.unsafe_set tr.live !i (Array.unsafe_get tr.live tr.nlive)
+    end
+    else begin
+      Array.unsafe_set tr.states m s';
+      if Array.unsafe_get pd.Packed_dfa.can_trip s' then incr i
+      else begin
+        incr retired;
+        tr.nlive <- tr.nlive - 1;
+        Array.unsafe_set tr.live !i (Array.unsafe_get tr.live tr.nlive)
+      end
+    end
+  done
+
 let check_symbol eng symbol =
   if symbol < 0 || symbol >= eng.alphabet then
     invalid_arg
@@ -185,28 +222,70 @@ let step eng ~trace ~symbol =
     record_chunk eng ~n:1 ~t0_us ~mw0 ~tripped0 ~retired0
   end
 
+(* Sharded parallel feed. Traces are the independent unit — each owns
+   its packed state block and its events arrive in chunk order — so
+   shard [trace id mod jobs] assigns every trace to exactly one domain,
+   which replays the whole chunk filtered to its own traces. Per-trace
+   state evolves through the identical sequence of [step_trace] walks
+   as the sequential loop, so states, live lists and bad-prefix
+   positions are bit-identical at every [jobs]; the engine-global
+   counters are per-shard sums merged after the join, and integer
+   addition is commutative, so they match too.
+
+   A sequential pre-pass validates symbols and materializes trace
+   blocks first: trace allocation order (hence [ntraces] growth and
+   array doubling) stays deterministic, and the parallel phase then
+   never mutates the engine's trace table, only the per-trace blocks
+   its shard owns. *)
+let feed_parallel eng ~off ~n ~traces ~symbols =
+  for k = off to off + n - 1 do
+    check_symbol eng (Array.unsafe_get symbols k);
+    ignore (get_trace eng (Array.unsafe_get traces k))
+  done;
+  let jobs = eng.jobs in
+  let tripped_by = Array.make jobs 0 and retired_by = Array.make jobs 0 in
+  let pool = Sl_core.Pool.create ~jobs () in
+  Sl_core.Pool.parallel_for ~chunk:1 pool ~n:jobs (fun shard ->
+      let tripped = ref 0 and retired = ref 0 in
+      let engine_traces = eng.traces in
+      for k = off to off + n - 1 do
+        let id = Array.unsafe_get traces k in
+        if id mod jobs = shard then
+          match Array.unsafe_get engine_traces id with
+          | Some tr ->
+              step_trace_sharded eng.monitors tr
+                (Array.unsafe_get symbols k) ~tripped ~retired
+          | None -> ()
+      done;
+      tripped_by.(shard) <- !tripped;
+      retired_by.(shard) <- !retired);
+  eng.events <- eng.events + n;
+  for shard = 0 to jobs - 1 do
+    eng.tripped <- eng.tripped + tripped_by.(shard);
+    eng.retired_ok <- eng.retired_ok + retired_by.(shard)
+  done
+
 let feed eng ?(off = 0) ~n ~traces ~symbols () =
   if off < 0 || n < 0 || off + n > Array.length traces
      || off + n > Array.length symbols
   then invalid_arg "Engine.feed: bad chunk bounds";
-  if not (Obs.is_enabled ()) then
-    for k = off to off + n - 1 do
-      let symbol = Array.unsafe_get symbols k in
-      check_symbol eng symbol;
-      step_trace eng (get_trace eng (Array.unsafe_get traces k)) symbol
-    done
+  let run () =
+    if eng.jobs > 1 && n > 1 then
+      feed_parallel eng ~off ~n ~traces ~symbols
+    else
+      for k = off to off + n - 1 do
+        let symbol = Array.unsafe_get symbols k in
+        check_symbol eng symbol;
+        step_trace eng (get_trace eng (Array.unsafe_get traces k)) symbol
+      done
+  in
+  if not (Obs.is_enabled ()) then run ()
   else begin
     let sp = Obs.Span.enter "engine.feed" in
     let t0_us = Obs.Clock.now_us () in
     let mw0 = Gc.minor_words () in
     let tripped0 = eng.tripped and retired0 = eng.retired_ok in
-    (match
-       for k = off to off + n - 1 do
-         let symbol = Array.unsafe_get symbols k in
-         check_symbol eng symbol;
-         step_trace eng (get_trace eng (Array.unsafe_get traces k)) symbol
-       done
-     with
+    (match run () with
     | () -> ()
     | exception e ->
         Obs.Span.exit sp;
@@ -227,6 +306,7 @@ let reset eng =
     eng.traces
 
 let nmonitors eng = Array.length eng.monitors
+let jobs eng = eng.jobs
 let ntraces eng = eng.ntraces
 let events eng = eng.events
 let tripped eng = eng.tripped

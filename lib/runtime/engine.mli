@@ -20,9 +20,16 @@ type verdict =
 
 type t
 
-val create : monitors:Packed_dfa.t array -> t
+val create : ?jobs:int -> monitors:Packed_dfa.t array -> unit -> t
 (** All monitors must share an alphabet (the registry guarantees this).
-    @raise Invalid_argument otherwise. *)
+    @raise Invalid_argument otherwise.
+
+    [jobs] (default {!Sl_core.Pool.default_jobs}) sets the engine's
+    domain-pool width: {!feed} chunks shard their traces across [jobs]
+    domains ([trace id mod jobs], so a trace's events never leave its
+    shard) with per-shard counters merged deterministically after the
+    join. Verdicts, bad-prefix positions and counters are byte-identical
+    at every [jobs]; [jobs = 1] runs the exact sequential loop. *)
 
 val step : t -> trace:int -> symbol:int -> unit
 (** Feed one event. Trace ids are dense nonnegative ints (see
@@ -50,6 +57,9 @@ val reset : t -> unit
 (** {1 Metrics counters} *)
 
 val nmonitors : t -> int
+val jobs : t -> int
+(** The pool width this engine was created with. *)
+
 val ntraces : t -> int
 val events : t -> int
 (** Events ingested since creation/reset. *)

@@ -121,32 +121,94 @@ let add_formula t ?name f =
   compile_prop t ~name ~formula:(Some f) ~translate:(fun () ->
       Translate.translate ~alphabet:t.alphabet ~valuation:t.valuation f)
 
+(* Batch compilation. The expensive per-property phase —
+   translate/decompose/minimize/pack, all pure — fans out across a
+   domain pool; the merge phase then hash-conses the packed tables and
+   assigns property/monitor ids sequentially in input order, so the
+   registry's structure (prop ids, monitor ids, hit counts, keys) is
+   byte-identical at every [jobs]. With [jobs = 1] each property goes
+   through the exact same [compile_prop] path as [add_formula]. *)
+let compile_all ?jobs t named =
+  let pool = Sl_core.Pool.create ?jobs () in
+  let name_of name f =
+    match name with Some n -> n | None -> Formula.to_string f
+  in
+  if Sl_core.Pool.jobs pool = 1 then
+    List.map (fun (name, f) -> add_formula t ?name f) named
+  else begin
+    let arr = Array.of_list named in
+    let n = Array.length arr in
+    let packed = Array.make n None in
+    let sp = Obs.Span.enter "registry.compile_all" in
+    match
+      Sl_core.Pool.parallel_for pool ~n (fun i ->
+          let _, f = arr.(i) in
+          let t0 = if Obs.is_enabled () then Obs.Clock.now_us () else 0. in
+          let b =
+            Translate.translate ~alphabet:t.alphabet ~valuation:t.valuation f
+          in
+          let pd = Packed_dfa.of_buchi b in
+          let dt_ns =
+            if Obs.is_enabled () then
+              int_of_float ((Obs.Clock.now_us () -. t0) *. 1e3)
+            else 0
+          in
+          packed.(i) <- Some (pd, dt_ns))
+    with
+    | exception e ->
+        Obs.Span.exit sp;
+        raise e
+    | () ->
+        let ids =
+          Array.to_list
+            (Array.mapi
+               (fun i (name, f) ->
+                 let pd, dt_ns =
+                   match packed.(i) with Some r -> r | None -> assert false
+                 in
+                 let monitor = intern_monitor t pd in
+                 Obs.Metrics.observe h_compile_ns dt_ns;
+                 Obs.Metrics.incr m_props;
+                 let id = t.nprops in
+                 push_prop t
+                   { id; name = name_of name f; formula = Some f; monitor };
+                 id)
+               arr)
+        in
+        Obs.Span.attr sp "props" n;
+        Obs.Span.attr sp "distinct_monitors" t.nmonitors;
+        Obs.Span.exit sp;
+        ids
+  end
+
 (* Property-file loading. One LTL formula per line; blank lines and
    '#'-comments are skipped. A malformed line is reported with its
    file/line position and skipped — one bad property must not abort the
    whole monitoring run (the CLI turns a non-empty error list into a
    nonzero exit code). *)
-let load_lines t ?(path = "<props>") lines =
+let load_lines t ?(path = "<props>") ?jobs lines =
   let errors = ref [] in
+  let items = ref [] in
   List.iteri
     (fun i raw ->
       let s = String.trim raw in
       if String.length s > 0 && s.[0] <> '#' then
         match Formula.parse s with
-        | Ok f -> ignore (add_formula t ~name:s f)
+        | Ok f -> items := (Some s, f) :: !items
         | Error e ->
             errors :=
               Printf.sprintf "%s:%d: parse error: %s (line skipped)" path
                 (i + 1) e
               :: !errors)
     lines;
+  ignore (compile_all ?jobs t (List.rev !items));
   List.rev !errors
 
-let load_channel t ?path ic =
+let load_channel t ?path ?jobs ic =
   let lines = ref [] in
   (try
      while true do
        lines := input_line ic :: !lines
      done
    with End_of_file -> ());
-  load_lines t ?path (List.rev !lines)
+  load_lines t ?path ?jobs (List.rev !lines)

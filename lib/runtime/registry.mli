@@ -27,13 +27,23 @@ val add_formula : t -> ?name:string -> Sl_ltl.Formula.t -> int
 val add_buchi : t -> name:string -> Sl_buchi.Buchi.t -> int
 (** Register a property given directly as a Büchi automaton. *)
 
-val load_lines : t -> ?path:string -> string list -> string list
+val compile_all : ?jobs:int -> t -> (string option * Sl_ltl.Formula.t) list -> int list
+(** Compile a batch of properties, returning their ids in input order.
+    The per-property translate/minimize/pack phase (pure, and the bulk
+    of the cost) runs across a domain pool of [jobs] domains (default
+    {!Sl_core.Pool.default_jobs}); packed tables are then hash-consed
+    and ids assigned in one sequential merge pass in input order, so
+    the registry ends up byte-identical at every [jobs]. [None] names
+    default to the formula's printed form, as in {!add_formula}. *)
+
+val load_lines : t -> ?path:string -> ?jobs:int -> string list -> string list
 (** Load a property file given as lines: one LTL formula per line, blank
     lines and ['#'] comments skipped. Returns human-readable
     ["path:line: parse error: ..."] messages for malformed lines, which
-    are skipped rather than aborting the load. *)
+    are skipped rather than aborting the load. Well-formed lines are
+    compiled through {!compile_all} with [jobs] domains. *)
 
-val load_channel : t -> ?path:string -> in_channel -> string list
+val load_channel : t -> ?path:string -> ?jobs:int -> in_channel -> string list
 (** {!load_lines} over a channel read to end-of-file. *)
 
 val nprops : t -> int

@@ -1,14 +1,22 @@
 #!/bin/sh
 # CI smoke: build everything (library, CLI, examples, bench harness),
-# run the full test suite, run every example program, exercise the CLI
-# (including the observability surface: --metrics / --trace-out), then
-# regenerate the benchmark trajectory JSON (writes BENCH_PR4.json at the
-# repo root, with ratios against the tracked BENCH_PR3.json).
+# run the full test suite (once at the default pool width and once with
+# SLC_JOBS=4 so every parallel path runs sharded), run every example
+# program, exercise the CLI (including the observability surface:
+# --metrics / --trace-out, and the -j byte-identity cross-checks), then
+# regenerate the benchmark trajectory JSON (writes BENCH_PR5.json at the
+# repo root, with ratios against the most recent tracked BENCH_PR*.json).
 # Run from the repository root.
 set -eu
 
 dune build @runtest
 dune build bin examples bench
+
+# The whole suite again with the process-default pool width forced to 4:
+# every ?jobs-defaulted path (engine, registry, complementation, theorem
+# sweeps) now runs its parallel code under the existing pins.
+echo "--- dune runtest with SLC_JOBS=4"
+SLC_JOBS=4 dune runtest --force
 
 # Examples are documentation that must keep executing.
 for ex in quickstart ltl_classification buchi_decomposition \
@@ -34,6 +42,28 @@ echo "$out" | grep -q \
   "summary: traces=2 events=7 props=5 monitors=3 violations=3 vacuous=2 live=1 tripped=2 retired_admissible=1"
 echo "$out" | grep -q "VIOLATION G (a -> X !a) at event 4"
 echo "$out" | grep -Fq 'props: 5 loaded, 3 distinct monitor(s), 2 vacuous'
+
+# Parallel byte-identity: the same monitor run at -j 1 and -j 4 must
+# produce byte-for-byte identical reports (modulo the wall-clock
+# events_per_s rate, which differs between any two runs), and the
+# rank-based complement must print the identical automaton. These are
+# the end-to-end form of the jobs-invariance QCheck pins.
+echo "--- slc -j byte-identity smoke"
+j1=$(mktemp /tmp/slc-ci.XXXXXX.j1) ; j4=$(mktemp /tmp/slc-ci.XXXXXX.j4)
+for j in 1 4; do
+  status=0
+  dune exec bin/slc.exe -- monitor -j "$j" --props examples/monitor.props \
+    --trace examples/monitor.events --json > "$j1.raw" || status=$?
+  [ "$status" -eq 1 ]
+  sed 's/"events_per_s": [0-9.]*/"events_per_s": X/' "$j1.raw" \
+    > "$([ "$j" -eq 1 ] && echo "$j1" || echo "$j4")"
+done
+rm -f "$j1.raw"
+diff "$j1" "$j4" || { echo "monitor -j 1 vs -j 4 reports differ"; exit 1; }
+dune exec bin/slc.exe -- complement -j 1 "F a" > "$j1"
+dune exec bin/slc.exe -- complement -j 4 "F a" > "$j4"
+diff "$j1" "$j4" || { echo "complement -j 1 vs -j 4 differ"; exit 1; }
+rm -f "$j1" "$j4"
 
 # Observability smoke: the same run with metrics collection on must keep
 # the same exit code and verdict summary, print the engine/registry

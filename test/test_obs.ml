@@ -241,7 +241,7 @@ let run_pipeline ~enabled seed =
       ignore (Registry.add_buchi r ~name:"b" b);
       ignore (Registry.add_formula r Lexamples.p1);
       ignore (Registry.add_formula r Lexamples.p3);
-      let eng = Engine.create ~monitors:(Registry.monitors r) in
+      let eng = Engine.create ~monitors:(Registry.monitors r) () in
       let st = Random.State.make [| seed + 1 |] in
       for _ = 1 to 200 do
         Engine.step eng ~trace:0 ~symbol:(Random.State.int st 2)

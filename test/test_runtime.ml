@@ -98,7 +98,7 @@ let prop_engine_agrees_with_monitor =
           ~density:0.2 ~accepting_fraction:0.4 ()
       in
       let m = Monitor.create b in
-      let eng = Engine.create ~monitors:[| Packed_dfa.of_buchi b |] in
+      let eng = Engine.create ~monitors:[| Packed_dfa.of_buchi b |] () in
       let st = Random.State.make [| s2 |] in
       let ok = ref true in
       for _ = 1 to 32 do
@@ -125,9 +125,9 @@ let prop_engine_batched_equals_stepwise =
       let n = 64 in
       let traces = Array.init n (fun _ -> Random.State.int st 3) in
       let symbols = Array.init n (fun _ -> Random.State.int st 2) in
-      let batched = Engine.create ~monitors in
+      let batched = Engine.create ~monitors () in
       Engine.feed batched ~n ~traces ~symbols ();
-      let stepwise = Engine.create ~monitors in
+      let stepwise = Engine.create ~monitors () in
       for k = 0 to n - 1 do
         Engine.step stepwise ~trace:traces.(k) ~symbol:symbols.(k)
       done;
@@ -147,7 +147,7 @@ let test_engine_interleaved_traces () =
      check each sees its own event numbering. p1 = 'a' trips on the
      first symbol 1 of the respective trace. *)
   let monitors = [| Packed_dfa.of_buchi (Lexamples.automaton Lexamples.p1) |] in
-  let eng = Engine.create ~monitors in
+  let eng = Engine.create ~monitors () in
   Engine.step eng ~trace:0 ~symbol:0;
   (* t0: a *)
   Engine.step eng ~trace:1 ~symbol:1;
@@ -166,7 +166,7 @@ let test_engine_reset_and_retirement () =
   let reg = Registry.create () in
   ignore (Registry.add_formula reg (Formula.parse_exn "a"));
   ignore (Registry.add_formula reg (Formula.parse_exn "G F a"));
-  let eng = Engine.create ~monitors:(Registry.monitors reg) in
+  let eng = Engine.create ~monitors:(Registry.monitors reg) () in
   Engine.step eng ~trace:0 ~symbol:0;
   (* 'a' monitor is admissible-forever after seeing a; vacuous monitor
      was never live: the trace has no live monitors left. *)
@@ -270,7 +270,7 @@ let test_end_to_end_report () =
     Registry.load_lines reg [ "a"; "G (a -> X !a)"; "G F a" ]
   in
   check_int "props load clean" 0 (List.length errors);
-  let eng = Engine.create ~monitors:(Registry.monitors reg) in
+  let eng = Engine.create ~monitors:(Registry.monitors reg) () in
   let ing, _, ingest_errors =
     let ing = Ingest.create () in
     let remaining =
