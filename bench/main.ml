@@ -4,7 +4,7 @@
      dune exec bench/main.exe              # all artifacts + all timings
      dune exec bench/main.exe ARTIFACT     # one artifact, no timings
      dune exec bench/main.exe bench        # timings only
-     dune exec bench/main.exe bench json   # timings -> BENCH_PR5.json
+     dune exec bench/main.exe bench json   # timings -> BENCH_PR6.json
 
    Artifacts (the paper's figures/tables, regenerated from scratch; see
    EXPERIMENTS.md for the mapping): fig1 fig2 rem ctl rabin
@@ -16,12 +16,16 @@
    complementation, translation, model checking) and of the two ablations
    called out in DESIGN.md §5. The PARALLEL group times the four
    Pool-parallelized paths (engine, registry compilation, rank-based
-   complementation, theorem sweep) at 1/2/4 domains on identical inputs.
+   complementation, theorem sweep) at 1/2/4 domains on identical inputs;
+   the CACHE group times the 100-property fleet compile cold (empty
+   cache, every probe misses and stores) vs warm (prewarmed cache, every
+   probe hits and deserializes).
 
-   [bench json] additionally writes the estimates to BENCH_PR5.json
+   [bench json] additionally writes the estimates to BENCH_PR6.json
    together with automaton-size counters, speedups against the seed,
    ratios against the most recent tracked BENCH_PR*.json for every bench
-   name the two runs share, the parallel scaling curves, and per-group
+   name the two runs share, the parallel scaling curves, the cold/warm
+   cache comparison, and per-group
    Sl_obs span summaries from one instrumented pass over representative
    inputs: this is the perf trajectory future PRs regress against (see
    DESIGN.md "Performance architecture"). *)
@@ -248,6 +252,37 @@ let complement_input = Lexamples.automaton (Formula.parse_exn "F a")
    these time the dark-mode cost of an instrumented call site — one
    global flag check — which must stay within noise of a bare loop. *)
 let obs_probe_counter = Sl_obs.Obs.Metrics.counter "bench_obs_probe_total"
+
+(* CACHE fixtures: the same 100-property fleet compiled through the
+   warm-start cache. The cold series empties its directory before every
+   run, so each run pays full translate + minimize + pack + store; the
+   warm series compiles once into its directory at fixture setup, so
+   each run is 100 probe hits + artifact decodes. Both live under one
+   bench-local root (gitignored) rather than a temp dir, so the fixture
+   is inspectable after a run. *)
+let bench_cache_root = ".slc-bench-cache"
+let bench_cache_cold_dir = Filename.concat bench_cache_root "cold"
+let bench_cache_warm_dir = Filename.concat bench_cache_root "warm"
+
+let clear_cache_dir dir =
+  if Sys.file_exists dir then
+    Array.iter
+      (fun f ->
+        try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+      (Sys.readdir dir)
+
+let compile_fleet_cached ~dir =
+  let r =
+    Sl_runtime.Registry.create ~alphabet:2
+      ~cache:(Sl_runtime.Cache.create ~dir)
+      ()
+  in
+  Sl_runtime.Registry.compile_all ~jobs:1 r fleet_named_props
+
+let prewarm_bench_cache =
+  lazy
+    (clear_cache_dir bench_cache_warm_dir;
+     ignore (compile_fleet_cached ~dir:bench_cache_warm_dir))
 
 let monitor_naive_fleet =
   List.map
@@ -492,6 +527,15 @@ let make_tests () =
               (fun () ->
                 Finite_check.check_all_closures ~jobs (Named.boolean 3)) ])
         parallel_jobs_ladder;
+      (* CACHE: the 100-property fleet compile with an empty vs a
+         prewarmed compile cache — the PR 6 acceptance pair (warm must
+         be an order of magnitude under cold, DESIGN.md §6.10). *)
+      [ t "cache/registry-compile-100-cold" (fun () ->
+            clear_cache_dir bench_cache_cold_dir;
+            compile_fleet_cached ~dir:bench_cache_cold_dir);
+        (Lazy.force prewarm_bench_cache;
+         t "cache/registry-compile-100-warm" (fun () ->
+             compile_fleet_cached ~dir:bench_cache_warm_dir)) ];
       (* Structural hierarchy classification. *)
       [ t "hierarchy/classify-128" (fun () ->
             Sl_buchi.Hierarchy.classify_structural (random_automaton 128)) ];
@@ -673,7 +717,8 @@ let read_prev_results path =
    still gets a baseline instead of an empty section. The chosen file is
    recorded in the output as "baseline_file" (null when none found). *)
 let baseline_chain =
-  [ "BENCH_PR4.json"; "BENCH_PR3.json"; "BENCH_PR2.json"; "BENCH_PR1.json" ]
+  [ "BENCH_PR5.json"; "BENCH_PR4.json"; "BENCH_PR3.json"; "BENCH_PR2.json";
+    "BENCH_PR1.json" ]
 
 let read_baseline () =
   List.find_map
@@ -780,7 +825,7 @@ let run_benchmarks_json ~path =
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
   p "  \"schema\": \"sl-bench-trajectory/1\",\n";
-  p "  \"pr\": \"PR5\",\n";
+  p "  \"pr\": \"PR6\",\n";
   p "  \"config\": {\"quota_s\": 0.25, \"limit\": 1000, \"estimator\": \"ols\"},\n";
   p "  \"cores\": %d,\n" (Domain.recommended_domain_count ());
   p "  \"results\": [\n";
@@ -815,7 +860,7 @@ let run_benchmarks_json ~path =
     (match baseline with
     | Some (path, _) -> Printf.sprintf "\"%s\"" (json_escape path)
     | None -> "null");
-  p "  \"speedups_vs_pr4\": [\n";
+  p "  \"speedups_vs_pr5\": [\n";
   List.iteri
     (fun i (name, ns, base, ratio) ->
       p
@@ -841,6 +886,20 @@ let run_benchmarks_json ~path =
         (if i = List.length scaling - 1 then "" else ","))
     scaling;
   p "  ],\n";
+  (* The cold/warm cache pair, with the warm speedup the acceptance
+     criterion reads off directly. *)
+  let num = function
+    | Some x -> Printf.sprintf "%.1f" x
+    | None -> "null"
+  in
+  let cache_cold = lookup "cache/registry-compile-100-cold" in
+  let cache_warm = lookup "cache/registry-compile-100-warm" in
+  p "  \"cache\": {\"cold_ns_per_run\": %s, \"warm_ns_per_run\": %s, \
+     \"warm_speedup\": %s},\n"
+    (num cache_cold) (num cache_warm)
+    (match (cache_cold, cache_warm) with
+    | Some c, Some w when w > 0.0 -> Printf.sprintf "%.2f" (c /. w)
+    | _ -> "null");
   let spans = span_summaries () in
   p "  \"span_summaries\": [\n";
   List.iteri
@@ -867,7 +926,7 @@ let () =
       List.iter (fun (_, f) -> f ()) artifacts;
       run_benchmarks ()
   | [ "bench" ] -> run_benchmarks ()
-  | [ "bench"; "json" ] -> run_benchmarks_json ~path:"BENCH_PR5.json"
+  | [ "bench"; "json" ] -> run_benchmarks_json ~path:"BENCH_PR6.json"
   | [ "bench"; "json"; path ] -> run_benchmarks_json ~path
   | names ->
       List.iter

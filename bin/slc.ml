@@ -46,6 +46,17 @@ let jobs_arg =
     & opt int (Pool.default_jobs ())
     & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 
+let cache_arg =
+  let doc =
+    "Warm-start compile cache: probe $(docv) for previously compiled \
+     monitors before translating a property, and store fresh compiles \
+     there as versioned sl-artifact blobs (created if missing; corrupt \
+     or stale entries are recompiled and healed, never an error). \
+     Defaults to the $(b,SLC_CACHE) environment variable, else no \
+     caching."
+  in
+  Arg.(value & opt (some string) None & info [ "cache" ] ~docv:"DIR" ~doc)
+
 let metrics_arg =
   let doc =
     "Enable the observability kernel for this run and, after the \
@@ -77,13 +88,18 @@ let dump_trace file =
     ~finally:(fun () -> close_out_noerr oc)
     (fun () -> Obs.Span.write_jsonl oc)
 
-let with_obs jobs metrics trace_out run =
+let with_obs jobs cache metrics trace_out run =
   if jobs < 1 then begin
     Format.eprintf "slc: --jobs must be >= 1@.";
     124
   end
   else begin
     Pool.set_default_jobs jobs;
+    (* [--cache DIR] overrides the [SLC_CACHE]-seeded process default;
+       every registry the subcommand creates picks it up. *)
+    Option.iter
+      (fun d -> Sl_runtime.Cache.set_default_dir (Some d))
+      cache;
     match (metrics, trace_out) with
     | None, None -> run ()
     | _ ->
@@ -107,7 +123,8 @@ let with_obs jobs metrics trace_out run =
    the subcommand runs, [--metrics]/[--trace-out] wrap it in the
    observability kernel. *)
 let obs_term term =
-  Term.(const with_obs $ jobs_arg $ metrics_arg $ trace_out_arg $ term)
+  Term.(
+    const with_obs $ jobs_arg $ cache_arg $ metrics_arg $ trace_out_arg $ term)
 
 let classify_cmd =
   let run s =
@@ -415,6 +432,95 @@ let monitor_cmd =
          $ props_arg $ trace_file_arg $ json_arg $ formula_opt_arg
          $ trace_pos_arg))
 
+(* Offline compile phase: property file -> one monitor-pack artifact.
+   The hot serve phase (unpack today, the monitoring daemon tomorrow)
+   then loads compiled tables without an LTL pipeline in sight. *)
+let pack_cmd =
+  let props_arg =
+    let doc =
+      "Property file to compile: one LTL formula per line ('#' comments)."
+    in
+    Arg.(
+      required & opt (some file) None & info [ "props" ] ~docv:"FILE" ~doc)
+  in
+  let out_arg =
+    let doc = "Output pack file (written atomically)." in
+    Arg.(
+      value & opt string "monitors.slpack"
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+  in
+  let run props_file out =
+    let module Registry = Sl_runtime.Registry in
+    let registry = Registry.create ~alphabet:2 () in
+    let prop_errors =
+      let ic = open_in props_file in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> Registry.load_channel registry ~path:props_file ic)
+    in
+    List.iter prerr_endline prop_errors;
+    if Registry.nprops registry = 0 then begin
+      Format.eprintf "%s: no well-formed properties@." props_file;
+      2
+    end
+    else begin
+      let pk = Sl_runtime.Pack.of_registry registry in
+      match Sl_runtime.Pack.write pk ~path:out with
+      | () ->
+          Format.printf
+            "packed %d props (%d distinct monitors) into %s (%d bytes)@."
+            (Registry.nprops registry)
+            (Registry.nmonitors registry)
+            out
+            (String.length (Sl_runtime.Pack.to_artifact pk));
+          if prop_errors <> [] then 2 else 0
+      | exception Sys_error msg ->
+          Format.eprintf "%s: %s@." out msg;
+          2
+    end
+  in
+  Cmd.v
+    (Cmd.info "pack"
+       ~doc:
+         "Compile a property file into a single binary monitor-pack \
+          artifact (the offline half of a compile-once/serve-hot split)")
+    (obs_term Term.(const (fun p o () -> run p o) $ props_arg $ out_arg))
+
+let unpack_cmd =
+  let pack_arg =
+    let doc = "Monitor pack written by $(b,slc pack)." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"PACK" ~doc)
+  in
+  let run path =
+    match Sl_runtime.Pack.read ~path with
+    | Error msg ->
+        Format.eprintf "%s: not a loadable monitor pack: %s@." path msg;
+        2
+    | Ok pk ->
+        Format.printf "pack: %s@." path;
+        Format.printf "alphabet: %d@." pk.Sl_runtime.Pack.alphabet;
+        Format.printf "props: %d, distinct monitors: %d@."
+          (Array.length pk.Sl_runtime.Pack.props)
+          (Array.length pk.Sl_runtime.Pack.monitors);
+        Array.iter
+          (fun (name, monitor) ->
+            Format.printf "  %s -> monitor %d@." name monitor)
+          pk.Sl_runtime.Pack.props;
+        Array.iteri
+          (fun i pd ->
+            Format.printf "monitor %d: %a (key %s)@." i
+              Sl_runtime.Packed_dfa.pp pd
+              (Sl_core.Wire.fnv64_hex (Sl_runtime.Packed_dfa.key pd)))
+          pk.Sl_runtime.Pack.monitors;
+        0
+  in
+  Cmd.v
+    (Cmd.info "unpack"
+       ~doc:
+         "Load a monitor pack and print its properties and compiled \
+          monitors (validates the whole artifact)")
+    (obs_term Term.(const (fun p () -> run p) $ pack_arg))
+
 let complement_cmd =
   let max_states_arg =
     let doc = "Abort if the complement's construction exceeds $(docv) \
@@ -528,5 +634,5 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ classify_cmd; decompose_cmd; stats_cmd; rem_cmd; ctl_cmd;
-            dot_cmd; theorems_cmd; monitor_cmd; complement_cmd; regex_cmd;
-            modelcheck_cmd ]))
+            dot_cmd; theorems_cmd; monitor_cmd; pack_cmd; unpack_cmd;
+            complement_cmd; regex_cmd; modelcheck_cmd ]))

@@ -127,7 +127,9 @@ let ranking_successors (b : Buchi.t) (st : Ranking.t) s =
    every ranking at the same ordinal as the sequential loop and the
    resulting automaton (numbering, rows, acceptance) is byte-identical
    at every [jobs]. *)
-let rank_based ?(max_states = 200_000) ?jobs (b : Buchi.t) =
+let rank_based ?(max_states = 200_000) ?jobs ?(threshold = 16) (b : Buchi.t) =
+  if threshold < 0 then
+    invalid_arg "Complement.rank_based: threshold must be >= 0";
   let pool = Sl_core.Pool.create ?jobs () in
   let sp = Obs.Span.enter "buchi.rank_complement" in
   let max_rank = max_rank_of b in
@@ -200,9 +202,19 @@ let rank_based ?(max_states = 200_000) ?jobs (b : Buchi.t) =
       let fr = Array.of_list !frontier in
       let nf = Array.length fr in
       let succs = Array.make nf [||] in
-      Sl_core.Pool.parallel_for pool ~n:nf (fun i ->
-          succs.(i) <-
-            Array.init b.alphabet (fun s -> ranking_successors b fr.(i) s));
+      let expand i =
+        succs.(i) <-
+          Array.init b.alphabet (fun s -> ranking_successors b fr.(i) s)
+      in
+      (* Per-level work-size cutoff: a narrow frontier (BFS start-up and
+         tail levels) expands sequentially — the domain spawn costs more
+         than the few enumerations it would split. Either way the merge
+         below sees the same slots, so the automaton is unchanged. *)
+      if nf < threshold then
+        for i = 0 to nf - 1 do
+          expand i
+        done
+      else Sl_core.Pool.parallel_for pool ~n:nf expand;
       (* Deterministic merge: intern in frontier order, symbol order,
          successor-list order — the sequential loop's intern order. *)
       let next = ref [] in

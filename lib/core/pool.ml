@@ -79,12 +79,25 @@ let run_region ~jobs ~chunk ~n f =
 
 let default_chunk ~jobs n = max 1 ((n + (4 * jobs) - 1) / (4 * jobs))
 
-let parallel_for ?chunk pool ~n f =
+(* Work-size threshold: a region smaller than [threshold] elements runs
+   the exact jobs=1 sequential loop instead of spawning domains. The
+   default (2) only short-circuits the degenerate n=1 region; call
+   sites that know their per-element cost pass a calibrated cutoff so
+   domain-spawn overhead is never paid on work that finishes faster
+   than the spawn. *)
+let check_threshold name = function
+  | Some t when t < 0 ->
+      invalid_arg (name ^ ": threshold must be >= 0")
+  | Some t -> t
+  | None -> 2
+
+let parallel_for ?chunk ?threshold pool ~n f =
   (match chunk with
   | Some c when c < 1 -> invalid_arg "Pool.parallel_for: chunk must be >= 1"
   | _ -> ());
+  let threshold = check_threshold "Pool.parallel_for" threshold in
   if n > 0 then begin
-    if pool.jobs = 1 || n = 1 then
+    if pool.jobs = 1 || n = 1 || n < threshold then
       for i = 0 to n - 1 do
         f i
       done
@@ -97,9 +110,10 @@ let parallel_for ?chunk pool ~n f =
       run_region ~jobs:pool.jobs ~chunk ~n f
   end
 
-let map_reduce ?chunk pool ~n ~map ~reduce init =
+let map_reduce ?chunk ?threshold pool ~n ~map ~reduce init =
+  let threshold = check_threshold "Pool.map_reduce" threshold in
   if n <= 0 then init
-  else if pool.jobs = 1 || n = 1 then begin
+  else if pool.jobs = 1 || n = 1 || n < threshold then begin
     let acc = ref init in
     for i = 0 to n - 1 do
       acc := reduce !acc (map i)

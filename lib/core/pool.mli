@@ -36,7 +36,8 @@ val default_jobs : unit -> int
 val set_default_jobs : int -> unit
 (** @raise Invalid_argument if [jobs < 1]. *)
 
-val parallel_for : ?chunk:int -> t -> n:int -> (int -> unit) -> unit
+val parallel_for :
+  ?chunk:int -> ?threshold:int -> t -> n:int -> (int -> unit) -> unit
 (** [parallel_for pool ~n f] runs [f i] for every [0 <= i < n], each
     index exactly once. Workers claim chunks of [chunk] consecutive
     indices (default: [n] split in about four chunks per domain) via
@@ -44,10 +45,21 @@ val parallel_for : ?chunk:int -> t -> n:int -> (int -> unit) -> unit
     load-balanced and non-deterministic — the body must not depend on
     it. With [jobs pool = 1] this is exactly
     [for i = 0 to n - 1 do f i done].
-    @raise Invalid_argument on [chunk < 1] or nested use. *)
+
+    [threshold] is the work-size cutoff: when [n < threshold] the
+    region runs that same exact sequential loop even on a multi-domain
+    pool, because spawning [jobs - 1] domains costs on the order of
+    100µs and tiny regions lose more to the spawn than they gain from
+    the split. Default [2] (only skips the degenerate single-element
+    region); call sites pass cutoffs calibrated to their per-element
+    cost. Since the sequential loop and the parallel region are
+    observably equivalent by the determinism contract, [threshold]
+    never changes results — only where the time goes.
+    @raise Invalid_argument on [chunk < 1], [threshold < 0] or nested
+    use. *)
 
 val map_reduce :
-  ?chunk:int -> t -> n:int -> map:(int -> 'a) ->
+  ?chunk:int -> ?threshold:int -> t -> n:int -> map:(int -> 'a) ->
   reduce:('a -> 'a -> 'a) -> 'a -> 'a
 (** [map_reduce pool ~n ~map ~reduce init] is
     [init ⊕ map 0 ⊕ map 1 ⊕ ... ⊕ map (n-1)] with [⊕ = reduce] —
@@ -55,4 +67,6 @@ val map_reduce :
     in index order, so [reduce] need not be commutative and the result
     is identical at every [jobs]. With [jobs pool = 1] this is the
     plain left fold, mapping and reducing each index before the next
-    (no intermediate results array). *)
+    (no intermediate results array). [threshold] as in
+    {!parallel_for}: below the cutoff the plain left fold runs
+    regardless of pool width. *)

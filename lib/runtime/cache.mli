@@ -1,0 +1,70 @@
+(** Warm-start compile cache for packed monitors.
+
+    Translating, decomposing and minimizing a property costs
+    milliseconds; reading its compiled {!Packed_dfa.t} back from an
+    [sl-artifact/1] blob costs microseconds. A cache is a directory of
+    such blobs, keyed by the property's {e source identity} — alphabet,
+    normalized formula text, and the valuation's bit table over the
+    formula's propositions (see {!probe_key}) — so
+    {!Registry.compile_all} can probe before translating anything.
+
+    Invalidation rules (DESIGN.md §6.10): an entry is used only if its
+    magic, format version, payload kind, checksum, embedded probe key
+    and embedded canonical key all verify, and the decoded table passes
+    the same shape/range validation compilation enforces. {e Any}
+    failure is a miss that a later {!store} overwrites — a corrupt,
+    truncated or version-skewed cache can cost a recompile, never an
+    error, a crash, or a wrong monitor.
+
+    Writes are atomic (temp file + rename in the same directory), so
+    concurrent [-j] workers and concurrent processes sharing a cache
+    directory never observe torn artifacts. *)
+
+type t
+
+val create : dir:string -> t
+(** A cache rooted at [dir], created (with parents) if missing.
+    @raise Sys_error if the directory cannot be created. *)
+
+val dir : t -> string
+
+(** {1 Process default}
+
+    Mirrors [SLC_JOBS]: the [SLC_CACHE] environment variable seeds the
+    process-wide default directory at startup, and the CLI's [--cache]
+    overrides it via {!set_default_dir}. With no default set (the
+    out-of-box state), {!default} is [None] and nothing is cached. *)
+
+val default : unit -> t option
+val set_default_dir : string option -> unit
+
+(** {1 Probing} *)
+
+val probe_key : alphabet:int -> valuation:(int -> string -> bool) -> Sl_ltl.Formula.t -> string
+(** Everything the compile pipeline's output depends on, as one string:
+    alphabet, the formula's printed form, and the valuation's value on
+    each (proposition of the formula, alphabet symbol) pair — the only
+    part of the (uncomparable) valuation function that can influence
+    translation. *)
+
+val find : t -> key:string -> Packed_dfa.t option
+(** The cached monitor for a probe key, fully re-validated; [None] on
+    absence or any corruption (counted as a miss either way). *)
+
+val store : t -> key:string -> Packed_dfa.t -> unit
+(** Atomically publish a compiled monitor under a probe key,
+    overwriting (and thereby healing) any existing entry. Best-effort:
+    I/O failure leaves the cache cold rather than raising. *)
+
+(** {1 Counters}
+
+    Process-wide across all cache handles and domain-safe (probes run
+    on pool workers). The same three totals are exported as the
+    [cache_hits_total] / [cache_misses_total] / [cache_stores_total]
+    metrics while [Sl_obs] is enabled; these API counters are always
+    on, for tests and benches that don't enable observability. *)
+
+val hit_count : unit -> int
+val miss_count : unit -> int
+val store_count : unit -> int
+val reset_counters : unit -> unit

@@ -37,6 +37,7 @@ type t = {
   nvacuous : int;
   npretripped : int;
   jobs : int;
+  threshold : int;
   mutable traces : trace option array;
   mutable ntraces : int;
   mutable events : int;
@@ -44,11 +45,12 @@ type t = {
   mutable retired_ok : int;
 }
 
-let create ?jobs ~monitors () =
+let create ?jobs ?(threshold = 65536) ~monitors () =
   let jobs =
     match jobs with Some j -> j | None -> Sl_core.Pool.default_jobs ()
   in
   if jobs < 1 then invalid_arg "Engine.create: jobs must be >= 1";
+  if threshold < 0 then invalid_arg "Engine.create: threshold must be >= 0";
   let alphabet =
     match Array.length monitors with
     | 0 -> 1
@@ -68,8 +70,8 @@ let create ?jobs ~monitors () =
       if pd.Packed_dfa.pre_tripped then incr npretripped)
     monitors;
   { monitors; alphabet; nvacuous = !nvacuous; npretripped = !npretripped;
-    jobs; traces = Array.make 4 None; ntraces = 0; events = 0; tripped = 0;
-    retired_ok = 0 }
+    jobs; threshold; traces = Array.make 4 None; ntraces = 0; events = 0;
+    tripped = 0; retired_ok = 0 }
 
 (* (Re)initialize a trace record in place: every non-vacuous monitor
    starts live in the packed start state, except pre-tripped (empty
@@ -270,7 +272,11 @@ let feed eng ?(off = 0) ~n ~traces ~symbols () =
      || off + n > Array.length symbols
   then invalid_arg "Engine.feed: bad chunk bounds";
   let run () =
-    if eng.jobs > 1 && n > 1 then
+    (* Work-size cutoff: stepping one event is ~tens of ns, so a chunk
+       needs tens of thousands of events before the per-feed domain
+       spawn pays for itself; smaller chunks take the sequential walk,
+       which by the sharding argument below yields the same verdicts. *)
+    if eng.jobs > 1 && n > 1 && n >= eng.threshold then
       feed_parallel eng ~off ~n ~traces ~symbols
     else
       for k = off to off + n - 1 do

@@ -20,7 +20,8 @@ type verdict =
 
 type t
 
-val create : ?jobs:int -> monitors:Packed_dfa.t array -> unit -> t
+val create :
+  ?jobs:int -> ?threshold:int -> monitors:Packed_dfa.t array -> unit -> t
 (** All monitors must share an alphabet (the registry guarantees this).
     @raise Invalid_argument otherwise.
 
@@ -29,7 +30,13 @@ val create : ?jobs:int -> monitors:Packed_dfa.t array -> unit -> t
     domains ([trace id mod jobs], so a trace's events never leave its
     shard) with per-shard counters merged deterministically after the
     join. Verdicts, bad-prefix positions and counters are byte-identical
-    at every [jobs]; [jobs = 1] runs the exact sequential loop. *)
+    at every [jobs]; [jobs = 1] runs the exact sequential loop.
+
+    [threshold] (default [65536]) is the work-size cutoff: a {!feed}
+    chunk of fewer events than this steps sequentially even on a
+    multi-domain engine, since stepping an event costs tens of
+    nanoseconds and the per-feed domain spawn only amortizes over tens
+    of thousands of them. Never changes verdicts or counters. *)
 
 val step : t -> trace:int -> symbol:int -> unit
 (** Feed one event. Trace ids are dense nonnegative ints (see

@@ -1,5 +1,6 @@
 module Dfa = Sl_nfa.Dfa
 module Digraph = Sl_core.Digraph
+module Wire = Sl_core.Wire
 module Monitor = Sl_buchi.Monitor
 
 type t = {
@@ -51,6 +52,28 @@ let key_of ~alphabet ~trans ~accepting =
   Array.iter (fun a -> Buffer.add_char buf (if a then '*' else '.')) accepting;
   Buffer.contents buf
 
+(* Everything beyond (alphabet, trans, accepting) is a pure function of
+   those three fields. A monitor can still trip in state q iff some
+   rejecting state is reachable from q (backward reachability on the
+   packed graph); once that fails the monitor is admissible forever and
+   the engine retires it. Vacuity (a pure-liveness property: the safety
+   part is universal) is the special case at the start state. Sharing
+   this derivation between [pack] and [decode] is what makes a decoded
+   artifact field-for-field identical to a fresh compile. *)
+let derive ~alphabet ~nstates ~trans ~accepting =
+  let delta2 =
+    Array.init nstates (fun q ->
+        Array.init alphabet (fun s -> trans.((q * alphabet) + s)))
+  in
+  let g = Digraph.of_array_delta delta2 in
+  let can_trip =
+    Digraph.reachable_from (Digraph.reverse g) (Array.map not accepting)
+  in
+  let pre_tripped = not accepting.(0) in
+  let vacuous = accepting.(0) && not can_trip.(0) in
+  { alphabet; nstates; trans; accepting; can_trip; pre_tripped; vacuous;
+    key = key_of ~alphabet ~trans ~accepting }
+
 let pack (d : Dfa.t) =
   let d = Dfa.minimize d in
   (* [minimize] keeps exactly the reachable classes, so the BFS order is
@@ -67,23 +90,7 @@ let pack (d : Dfa.t) =
         (fun s q' -> trans.((nq * alphabet) + s) <- order.(q'))
         d.Dfa.delta.(q))
     order;
-  (* A monitor can still trip in state q iff some rejecting state is
-     reachable from q (backward reachability on the packed graph). Once
-     that fails the monitor is admissible forever and the engine retires
-     it. Vacuity (a pure-liveness property: the safety part is universal)
-     is the special case at the start state. *)
-  let delta2 =
-    Array.init n (fun q ->
-        Array.init alphabet (fun s -> trans.((q * alphabet) + s)))
-  in
-  let g = Digraph.of_array_delta delta2 in
-  let can_trip =
-    Digraph.reachable_from (Digraph.reverse g) (Array.map not accepting)
-  in
-  let pre_tripped = not accepting.(0) in
-  let vacuous = accepting.(0) && not can_trip.(0) in
-  { alphabet; nstates = n; trans; accepting; can_trip; pre_tripped; vacuous;
-    key = key_of ~alphabet ~trans ~accepting }
+  derive ~alphabet ~nstates:n ~trans ~accepting
 
 (* The empty property: even the empty prefix is bad. The prefix DFA the
    monitor pipeline produces is not meaningful in this corner
@@ -110,6 +117,59 @@ let step pd q symbol = pd.trans.((q * pd.alphabet) + symbol)
 let is_accepting pd q = pd.accepting.(q)
 let can_trip pd q = pd.can_trip.(q)
 let key pd = pd.key
+
+(* Serialization: only the three defining fields (plus the canonical
+   key, for cheap identity checks without decoding the arrays) go to
+   disk; [can_trip]/[pre_tripped]/[vacuous] are rederived on decode, so
+   stale bytes cannot desynchronize a monitor's retirement logic from
+   its transition table. *)
+
+let encode w pd =
+  Wire.put_string w pd.key;
+  Wire.put_int w pd.alphabet;
+  Wire.put_int w pd.nstates;
+  Wire.put_int_array w pd.trans;
+  Wire.put_bool_array w pd.accepting
+
+let decode r =
+  let fail fmt = Printf.ksprintf (fun s -> raise (Wire.Corrupt s)) fmt in
+  let key = Wire.get_string r in
+  let alphabet = Wire.get_int r in
+  let nstates = Wire.get_int r in
+  let trans = Wire.get_int_array r in
+  let accepting = Wire.get_bool_array r in
+  if alphabet < 1 then fail "packed_dfa: bad alphabet %d" alphabet;
+  if nstates < 1 then fail "packed_dfa: bad state count %d" nstates;
+  if Array.length trans <> nstates * alphabet then
+    fail "packed_dfa: %d transitions for %d states x %d symbols"
+      (Array.length trans) nstates alphabet;
+  Array.iter
+    (fun q -> if q < 0 || q >= nstates then fail "packed_dfa: successor %d" q)
+    trans;
+  if Array.length accepting <> nstates then
+    fail "packed_dfa: %d acceptance bits for %d states"
+      (Array.length accepting) nstates;
+  let pd = derive ~alphabet ~nstates ~trans ~accepting in
+  (* The stored key must be the canonical key of the stored table —
+     catches artifacts whose key and table were mixed up even when each
+     half is well-formed on its own. *)
+  if not (String.equal key pd.key) then fail "packed_dfa: key mismatch";
+  pd
+
+let to_artifact pd =
+  let w = Wire.writer () in
+  encode w pd;
+  Wire.to_artifact ~kind:Wire.kind_packed_dfa w
+
+let of_artifact s =
+  match
+    let r = Wire.of_artifact_kind ~kind:Wire.kind_packed_dfa s in
+    let pd = decode r in
+    Wire.expect_end r;
+    pd
+  with
+  | pd -> Some pd
+  | exception Wire.Corrupt _ -> None
 
 let pp fmt pd =
   Format.fprintf fmt "packed-dfa(%d states, alphabet %d%s%s)" pd.nstates

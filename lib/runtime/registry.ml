@@ -28,6 +28,7 @@ type stats = {
 type t = {
   alphabet : int;
   valuation : int -> string -> bool;
+  cache : Cache.t option;
   mutable props : prop array;
   mutable nprops : int;
   mutable monitors : Packed_dfa.t array;
@@ -38,11 +39,13 @@ type t = {
 
 let default_valuation symbol p = String.equal p "a" && symbol = 0
 
-let create ?(alphabet = 2) ?(valuation = default_valuation) () =
+let create ?(alphabet = 2) ?(valuation = default_valuation) ?cache () =
   if alphabet <= 0 then invalid_arg "Registry.create: alphabet must be > 0";
-  { alphabet; valuation; props = [||]; nprops = 0; monitors = [||];
+  let cache = match cache with Some _ as c -> c | None -> Cache.default () in
+  { alphabet; valuation; cache; props = [||]; nprops = 0; monitors = [||];
     nmonitors = 0; keys = Hashtbl.create 64; hits = 0 }
 
+let alphabet t = t.alphabet
 let nprops t = t.nprops
 let nmonitors t = t.nmonitors
 let hits t = t.hits
@@ -84,14 +87,36 @@ let intern_monitor t pd =
       Hashtbl.add t.keys (Packed_dfa.key pd) id;
       id
 
+(* The translate/decompose/minimize/pack pipeline for one formula, with
+   the warm-start cache (when the registry has one) probed first: a hit
+   skips the whole pipeline for a decode that is field-for-field the
+   same monitor, a miss compiles and then publishes the artifact. Pure
+   up to cache I/O and process-wide cache counters, so [compile_all]
+   can run it on pool worker domains — stores are atomic-rename, so
+   racing workers at worst publish identical bytes twice. *)
+let pack_formula t f () =
+  let fresh () =
+    Packed_dfa.of_buchi
+      (Translate.translate ~alphabet:t.alphabet ~valuation:t.valuation f)
+  in
+  match t.cache with
+  | None -> fresh ()
+  | Some c -> (
+      let key = Cache.probe_key ~alphabet:t.alphabet ~valuation:t.valuation f in
+      match Cache.find c ~key with
+      | Some pd -> pd
+      | None ->
+          let pd = fresh () in
+          Cache.store c ~key pd;
+          pd)
+
 (* Compile one property under a [registry.compile] span, recording the
    compile latency and whether the packed table was a hash-cons hit. *)
-let compile_prop t ~name ~formula ~translate =
+let compile_prop t ~name ~formula ~pack =
   let sp = Obs.Span.enter "registry.compile" in
   let t0 = if Obs.is_enabled () then Obs.Clock.now_us () else 0. in
   match
-    let b = translate () in
-    let pd = Packed_dfa.of_buchi b in
+    let pd = pack () in
     let hits0 = t.hits in
     let monitor = intern_monitor t pd in
     (pd, monitor, t.hits > hits0)
@@ -114,12 +139,13 @@ let compile_prop t ~name ~formula ~translate =
       id
 
 let add_buchi t ~name b =
-  compile_prop t ~name ~formula:None ~translate:(fun () -> b)
+  (* Automaton-sourced properties have no source identity to key a
+     cache probe on, so they always compile. *)
+  compile_prop t ~name ~formula:None ~pack:(fun () -> Packed_dfa.of_buchi b)
 
 let add_formula t ?name f =
   let name = match name with Some n -> n | None -> Formula.to_string f in
-  compile_prop t ~name ~formula:(Some f) ~translate:(fun () ->
-      Translate.translate ~alphabet:t.alphabet ~valuation:t.valuation f)
+  compile_prop t ~name ~formula:(Some f) ~pack:(pack_formula t f)
 
 (* Batch compilation. The expensive per-property phase —
    translate/decompose/minimize/pack, all pure — fans out across a
@@ -128,12 +154,17 @@ let add_formula t ?name f =
    registry's structure (prop ids, monitor ids, hit counts, keys) is
    byte-identical at every [jobs]. With [jobs = 1] each property goes
    through the exact same [compile_prop] path as [add_formula]. *)
-let compile_all ?jobs t named =
+let compile_all ?jobs ?(threshold = 4) t named =
   let pool = Sl_core.Pool.create ?jobs () in
   let name_of name f =
     match name with Some n -> n | None -> Formula.to_string f
   in
-  if Sl_core.Pool.jobs pool = 1 then
+  (* Work-size cutoff: compiling a property costs milliseconds, so a
+     batch has to be at least a handful of properties before splitting
+     it beats the ~100µs-per-domain spawn. Below [threshold] (or on a
+     one-domain pool) each property takes the exact [add_formula]
+     path. *)
+  if Sl_core.Pool.jobs pool = 1 || List.length named < threshold then
     List.map (fun (name, f) -> add_formula t ?name f) named
   else begin
     let arr = Array.of_list named in
@@ -144,10 +175,7 @@ let compile_all ?jobs t named =
       Sl_core.Pool.parallel_for pool ~n (fun i ->
           let _, f = arr.(i) in
           let t0 = if Obs.is_enabled () then Obs.Clock.now_us () else 0. in
-          let b =
-            Translate.translate ~alphabet:t.alphabet ~valuation:t.valuation f
-          in
-          let pd = Packed_dfa.of_buchi b in
+          let pd = pack_formula t f () in
           let dt_ns =
             if Obs.is_enabled () then
               int_of_float ((Obs.Clock.now_us () -. t0) *. 1e3)

@@ -17,9 +17,14 @@ type prop = {
 type t
 
 val create :
-  ?alphabet:int -> ?valuation:(int -> string -> bool) -> unit -> t
+  ?alphabet:int -> ?valuation:(int -> string -> bool) -> ?cache:Cache.t ->
+  unit -> t
 (** Defaults: alphabet 2 with symbol 0 meaning the proposition [a]
-    holds — the convention of the CLI and the Section 2.3 examples. *)
+    holds — the convention of the CLI and the Section 2.3 examples.
+    [cache] is the warm-start compile cache probed before every
+    formula translation (automaton-sourced properties always compile);
+    default {!Cache.default}, i.e. no caching unless [SLC_CACHE] or
+    the CLI's [--cache] set a directory. *)
 
 val add_formula : t -> ?name:string -> Sl_ltl.Formula.t -> int
 (** Translate, decompose, compile, hash-cons; returns the property id. *)
@@ -27,14 +32,21 @@ val add_formula : t -> ?name:string -> Sl_ltl.Formula.t -> int
 val add_buchi : t -> name:string -> Sl_buchi.Buchi.t -> int
 (** Register a property given directly as a Büchi automaton. *)
 
-val compile_all : ?jobs:int -> t -> (string option * Sl_ltl.Formula.t) list -> int list
+val compile_all :
+  ?jobs:int -> ?threshold:int -> t ->
+  (string option * Sl_ltl.Formula.t) list -> int list
 (** Compile a batch of properties, returning their ids in input order.
     The per-property translate/minimize/pack phase (pure, and the bulk
     of the cost) runs across a domain pool of [jobs] domains (default
     {!Sl_core.Pool.default_jobs}); packed tables are then hash-consed
     and ids assigned in one sequential merge pass in input order, so
     the registry ends up byte-identical at every [jobs]. [None] names
-    default to the formula's printed form, as in {!add_formula}. *)
+    default to the formula's printed form, as in {!add_formula}.
+    [threshold] (default [4]) is the work-size cutoff: batches smaller
+    than that compile sequentially even on a wide pool. When the
+    registry has a {!Cache.t}, each property probes it before
+    translating and publishes on a miss — on the workers, so cache
+    I/O parallelizes with the compiles. *)
 
 val load_lines : t -> ?path:string -> ?jobs:int -> string list -> string list
 (** Load a property file given as lines: one LTL formula per line, blank
@@ -46,6 +58,7 @@ val load_lines : t -> ?path:string -> ?jobs:int -> string list -> string list
 val load_channel : t -> ?path:string -> ?jobs:int -> in_channel -> string list
 (** {!load_lines} over a channel read to end-of-file. *)
 
+val alphabet : t -> int
 val nprops : t -> int
 val nmonitors : t -> int
 (** Distinct compiled monitors (≤ {!nprops}). *)

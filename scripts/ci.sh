@@ -4,7 +4,7 @@
 # SLC_JOBS=4 so every parallel path runs sharded), run every example
 # program, exercise the CLI (including the observability surface:
 # --metrics / --trace-out, and the -j byte-identity cross-checks), then
-# regenerate the benchmark trajectory JSON (writes BENCH_PR5.json at the
+# regenerate the benchmark trajectory JSON (writes BENCH_PR6.json at the
 # repo root, with ratios against the most recent tracked BENCH_PR*.json).
 # Run from the repository root.
 set -eu
@@ -100,6 +100,68 @@ for l in lines:
 print(f"trace JSONL ok: {len(lines)} events")
 ' "$trace_out"
 rm -f "$trace_out"
+
+# Compile-cache smoke: a cold run against an empty cache directory must
+# store entries and change nothing about the report; the warm rerun must
+# serve every probe from the cache (cache_hits_total = distinct sources,
+# cache_misses_total = 0); and the cached reports — cold, warm, warm at
+# -j 4 — must be byte-identical to the uncached report (modulo the
+# wall-clock events_per_s rate). This is the end-to-end form of the
+# cold = warm = uncached test pin.
+echo "--- slc --cache cold/warm smoke"
+cache_dir=$(mktemp -d /tmp/slc-ci-cache.XXXXXX)
+nocache=$(mktemp /tmp/slc-ci.XXXXXX.nocache)
+cached=$(mktemp /tmp/slc-ci.XXXXXX.cached)
+run_monitor() { # run_monitor OUT [extra flags...]
+  _out=$1; shift
+  status=0
+  dune exec bin/slc.exe -- monitor --props examples/monitor.props \
+    --trace examples/monitor.events --json "$@" > "$_out.raw" || status=$?
+  [ "$status" -eq 1 ]
+  sed 's/"events_per_s": [0-9.]*/"events_per_s": X/' "$_out.raw" > "$_out"
+  rm -f "$_out.raw"
+}
+run_monitor "$nocache"
+run_monitor "$cached" --cache "$cache_dir"   # cold: misses, stores
+diff "$nocache" "$cached" || { echo "cold cached report differs"; exit 1; }
+[ "$(ls "$cache_dir" | wc -l)" -gt 0 ] || { echo "cold run stored nothing"; exit 1; }
+run_monitor "$cached" --cache "$cache_dir"   # warm: every probe hits
+diff "$nocache" "$cached" || { echo "warm cached report differs"; exit 1; }
+run_monitor "$cached" --cache "$cache_dir" -j 4
+diff "$nocache" "$cached" || { echo "warm -j 4 cached report differs"; exit 1; }
+status=0
+wout=$(dune exec bin/slc.exe -- monitor --props examples/monitor.props \
+         --trace examples/monitor.events --cache "$cache_dir" \
+         --metrics -) || status=$?
+[ "$status" -eq 1 ]
+echo "$wout" | grep -q "^cache_hits_total 5$" \
+  || { echo "warm run did not hit the cache"; exit 1; }
+echo "$wout" | grep -q "^cache_misses_total 0$" \
+  || { echo "warm run missed the cache"; exit 1; }
+# SLC_CACHE is the env-default spelling of --cache.
+status=0
+SLC_CACHE="$cache_dir" dune exec bin/slc.exe -- monitor \
+  --props examples/monitor.props --trace examples/monitor.events --json \
+  > "$cached.raw" || status=$?
+[ "$status" -eq 1 ]
+sed 's/"events_per_s": [0-9.]*/"events_per_s": X/' "$cached.raw" > "$cached"
+rm -f "$cached.raw"
+diff "$nocache" "$cached" || { echo "SLC_CACHE report differs"; exit 1; }
+rm -f "$nocache" "$cached"
+
+# Pack smoke: compile the example props into one artifact, list it back.
+echo "--- slc pack/unpack smoke"
+pack=$(mktemp /tmp/slc-ci.XXXXXX.slpack)
+dune exec bin/slc.exe -- pack --props examples/monitor.props -o "$pack" \
+  | grep -q "packed 5 props (3 distinct monitors)"
+dune exec bin/slc.exe -- unpack "$pack" | grep -q "alphabet: 2"
+# Corruption must read as a clean CLI error, not a crash.
+printf garbage > "$pack"
+status=0
+dune exec bin/slc.exe -- unpack "$pack" > /dev/null 2>&1 || status=$?
+[ "$status" -eq 2 ] || { echo "corrupt pack not rejected"; exit 1; }
+rm -f "$pack"
+rm -rf "$cache_dir"
 
 # Bench smoke + perf trajectory.
 dune exec bench/main.exe -- bench json

@@ -18,6 +18,7 @@ let () =
       ("mu", Test_mu.tests);
       ("regex", Test_regex.tests);
       ("runtime", Test_runtime.tests);
+      ("cache", Test_cache.tests);
       ("obs", Test_obs.tests);
       ("acceptance", Test_acceptance.tests);
       ("properties", Test_properties.tests);

@@ -141,12 +141,17 @@ let prop_engine_jobs_invariant =
       let n = 96 and ntraces = 7 in
       let traces = Array.init n (fun _ -> Random.State.int st ntraces) in
       let symbols = Array.init n (fun _ -> Random.State.int st 2) in
-      let run jobs =
-        let eng = Engine.create ~jobs ~monitors () in
+      (* threshold 1 forces the sharded parallel path at this chunk size
+         (the default cutoff would route 96 events sequentially);
+         running the default-threshold engine too pins that the cutoff
+         fallback itself changes nothing. *)
+      let run jobs threshold =
+        let eng = Engine.create ~jobs ~threshold ~monitors () in
         Engine.feed eng ~n ~traces ~symbols ();
         engine_fingerprint eng ~ntraces ~nmonitors:(Array.length monitors)
       in
-      run 1 = run 4)
+      let reference = run 1 1 in
+      reference = run 4 1 && reference = run 4 65536)
 
 (* A pool of properties with deliberate hash-cons collisions (language-
    equal safety parts) so the parallel merge's interning order is
@@ -179,12 +184,16 @@ let prop_registry_jobs_invariant =
             in
             (name, Formula.parse_exn s))
       in
-      let run jobs =
+      (* threshold 1: even 1-3 property batches take the parallel
+         fan-out + merge, so the interning order is always exercised;
+         the default-threshold run pins the cutoff fallback. *)
+      let run jobs threshold =
         let r = Registry.create ~alphabet:2 () in
-        let ids = Registry.compile_all ~jobs r named in
+        let ids = Registry.compile_all ~jobs ~threshold r named in
         registry_fingerprint r ids
       in
-      run 1 = run 4)
+      let reference = run 1 1 in
+      reference = run 4 1 && reference = run 4 1024)
 
 let prop_complement_jobs_invariant =
   QCheck.Test.make
@@ -199,15 +208,21 @@ let prop_complement_jobs_invariant =
       (* The cap is part of the contract: a blow-up must raise at the
          same point whatever the pool width, so Too_large outcomes must
          match too. *)
-      let run jobs =
-        match Complement.rank_based ~max_states:10_000 ~jobs b with
+      (* threshold 1: every BFS level expands through the pool (the
+         default cutoff would run narrow levels sequentially); the
+         default-threshold run pins the per-level fallback. *)
+      let run jobs threshold =
+        match
+          Complement.rank_based ~max_states:10_000 ~jobs ~threshold b
+        with
         | c ->
             Ok
               ( c.Buchi.nstates, c.Buchi.start, c.Buchi.delta,
                 c.Buchi.accepting )
         | exception Complement.Too_large msg -> Error msg
       in
-      run 1 = run 4)
+      let reference = run 1 1 in
+      reference = run 4 1 && reference = run 4 16)
 
 let tests =
   [ Alcotest.test_case "create validation and default" `Quick
