@@ -4,7 +4,7 @@
      dune exec bench/main.exe              # all artifacts + all timings
      dune exec bench/main.exe ARTIFACT     # one artifact, no timings
      dune exec bench/main.exe bench        # timings only
-     dune exec bench/main.exe bench json   # timings -> BENCH_PR6.json
+     dune exec bench/main.exe bench json   # timings -> BENCH_PR7.json
 
    Artifacts (the paper's figures/tables, regenerated from scratch; see
    EXPERIMENTS.md for the mapping): fig1 fig2 rem ctl rabin
@@ -19,9 +19,11 @@
    complementation, theorem sweep) at 1/2/4 domains on identical inputs;
    the CACHE group times the 100-property fleet compile cold (empty
    cache, every probe misses and stores) vs warm (prewarmed cache, every
-   probe hits and deserializes).
+   probe hits and deserializes); the SESSION group times snapshot
+   write, restore, and resuming the stream from its midpoint snapshot
+   vs replaying it cold.
 
-   [bench json] additionally writes the estimates to BENCH_PR6.json
+   [bench json] additionally writes the estimates to BENCH_PR7.json
    together with automaton-size counters, speedups against the seed,
    ratios against the most recent tracked BENCH_PR*.json for every bench
    name the two runs share, the parallel scaling curves, the cold/warm
@@ -284,6 +286,42 @@ let prewarm_bench_cache =
     (clear_cache_dir bench_cache_warm_dir;
      ignore (compile_fleet_cached ~dir:bench_cache_warm_dir))
 
+(* SESSION fixtures: the fleet engine's run state snapshotted at the
+   10k-event stream's midpoint. The write series times serializing +
+   atomically publishing the snapshot; the restore series times decode +
+   validation + engine rebuild from the prebuilt blob; the resume/cold
+   pair compares finishing the stream from the snapshot against
+   replaying it from scratch — the recovery-time story. *)
+let bench_session_dir = Filename.concat bench_cache_root "session"
+
+let ensure_dir dir =
+  if not (Sys.file_exists dir) then begin
+    (try Sys.mkdir bench_cache_root 0o755 with Sys_error _ -> ());
+    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+  end
+
+let session_fresh () =
+  let s = Sl_runtime.Session.create ~jobs:1 ~registry:monitor_registry () in
+  (* the 16 concurrent trace ids of the PARALLEL fixture, interned in
+     the order the stream first sees them *)
+  for i = 0 to 15 do
+    ignore
+      (Sl_runtime.Ingest.intern
+         (Sl_runtime.Session.ingest s)
+         (Printf.sprintf "t%d" i))
+  done;
+  s
+
+let session_at_midpoint =
+  lazy
+    (let s = session_fresh () in
+     Sl_runtime.Engine.feed (Sl_runtime.Session.engine s) ~n:5_000
+       ~traces:multi_trace_ids ~symbols:monitor_trace_syms ();
+     s)
+
+let session_snapshot_blob =
+  lazy (Sl_runtime.Session.to_artifact (Lazy.force session_at_midpoint))
+
 let monitor_naive_fleet =
   List.map
     (fun f -> Sl_buchi.Monitor.create (Lexamples.automaton f))
@@ -536,6 +574,37 @@ let make_tests () =
         (Lazy.force prewarm_bench_cache;
          t "cache/registry-compile-100-warm" (fun () ->
              compile_fleet_cached ~dir:bench_cache_warm_dir)) ];
+      (* SESSION: snapshot write, restore, and resume-vs-replay on the
+         fleet engine at the stream midpoint. *)
+      [ (ensure_dir bench_session_dir;
+         let snap_path = Filename.concat bench_session_dir "mid.slsession" in
+         t "session/snapshot-write" (fun () ->
+             Sl_runtime.Session.save
+               (Lazy.force session_at_midpoint)
+               ~path:snap_path));
+        t "session/restore" (fun () ->
+            match
+              Sl_runtime.Session.of_artifact ~jobs:1
+                ~registry:monitor_registry
+                (Lazy.force session_snapshot_blob)
+            with
+            | Ok s -> s
+            | Error _ -> failwith "bench snapshot failed to restore");
+        t "session/resume-feed-5k" (fun () ->
+            match
+              Sl_runtime.Session.of_artifact ~jobs:1
+                ~registry:monitor_registry
+                (Lazy.force session_snapshot_blob)
+            with
+            | Ok s ->
+                Sl_runtime.Engine.feed (Sl_runtime.Session.engine s)
+                  ~off:5_000 ~n:5_000 ~traces:multi_trace_ids
+                  ~symbols:monitor_trace_syms ()
+            | Error _ -> failwith "bench snapshot failed to restore");
+        t "session/cold-feed-10k" (fun () ->
+            let s = session_fresh () in
+            Sl_runtime.Engine.feed (Sl_runtime.Session.engine s) ~n:10_000
+              ~traces:multi_trace_ids ~symbols:monitor_trace_syms ()) ];
       (* Structural hierarchy classification. *)
       [ t "hierarchy/classify-128" (fun () ->
             Sl_buchi.Hierarchy.classify_structural (random_automaton 128)) ];
@@ -717,8 +786,8 @@ let read_prev_results path =
    still gets a baseline instead of an empty section. The chosen file is
    recorded in the output as "baseline_file" (null when none found). *)
 let baseline_chain =
-  [ "BENCH_PR5.json"; "BENCH_PR4.json"; "BENCH_PR3.json"; "BENCH_PR2.json";
-    "BENCH_PR1.json" ]
+  [ "BENCH_PR6.json"; "BENCH_PR5.json"; "BENCH_PR4.json"; "BENCH_PR3.json";
+    "BENCH_PR2.json"; "BENCH_PR1.json" ]
 
 let read_baseline () =
   List.find_map
@@ -825,7 +894,7 @@ let run_benchmarks_json ~path =
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
   p "  \"schema\": \"sl-bench-trajectory/1\",\n";
-  p "  \"pr\": \"PR6\",\n";
+  p "  \"pr\": \"PR7\",\n";
   p "  \"config\": {\"quota_s\": 0.25, \"limit\": 1000, \"estimator\": \"ols\"},\n";
   p "  \"cores\": %d,\n" (Domain.recommended_domain_count ());
   p "  \"results\": [\n";
@@ -860,7 +929,7 @@ let run_benchmarks_json ~path =
     (match baseline with
     | Some (path, _) -> Printf.sprintf "\"%s\"" (json_escape path)
     | None -> "null");
-  p "  \"speedups_vs_pr5\": [\n";
+  p "  \"speedups_vs_pr6\": [\n";
   List.iteri
     (fun i (name, ns, base, ratio) ->
       p
@@ -900,6 +969,19 @@ let run_benchmarks_json ~path =
     (match (cache_cold, cache_warm) with
     | Some c, Some w when w > 0.0 -> Printf.sprintf "%.2f" (c /. w)
     | _ -> "null");
+  (* The snapshot/restore/resume quartet: resume_speedup is replaying
+     the full stream over finishing it from the midpoint snapshot. *)
+  let snap_write = lookup "session/snapshot-write" in
+  let snap_restore = lookup "session/restore" in
+  let resume = lookup "session/resume-feed-5k" in
+  let cold = lookup "session/cold-feed-10k" in
+  p "  \"session\": {\"snapshot_write_ns\": %s, \"restore_ns\": %s, \
+     \"resume_feed_5k_ns\": %s, \"cold_feed_10k_ns\": %s, \
+     \"resume_speedup\": %s},\n"
+    (num snap_write) (num snap_restore) (num resume) (num cold)
+    (match (resume, cold) with
+    | Some r, Some c when r > 0.0 -> Printf.sprintf "%.2f" (c /. r)
+    | _ -> "null");
   let spans = span_summaries () in
   p "  \"span_summaries\": [\n";
   List.iteri
@@ -926,7 +1008,7 @@ let () =
       List.iter (fun (_, f) -> f ()) artifacts;
       run_benchmarks ()
   | [ "bench" ] -> run_benchmarks ()
-  | [ "bench"; "json" ] -> run_benchmarks_json ~path:"BENCH_PR6.json"
+  | [ "bench"; "json" ] -> run_benchmarks_json ~path:"BENCH_PR7.json"
   | [ "bench"; "json"; path ] -> run_benchmarks_json ~path
   | names ->
       List.iter

@@ -317,13 +317,34 @@ let monitor_oneshot s trace =
 (* Streaming mode: compile a property file once into the registry
    (malformed lines are reported with file/line and skipped, turning the
    final exit code nonzero), then pump the trace file or stdin through
-   the batched packed engine and render the verdict report. *)
-let monitor_stream ~props_file ~trace_file ~json =
+   the batched packed engine and render the verdict report.
+
+   The run lives in a [Session] (engine state + trace-id interner), so
+   it can be snapshotted to disk ([--snapshot], periodically with
+   [--snapshot-every]) and resumed in a fresh process ([--resume]) with
+   byte-identical verdicts. A snapshot that doesn't match this
+   registry, or is corrupt, refuses to restore — exit 2, never a
+   wrong-but-running session. *)
+let monitor_stream ~props_file ~trace_file ~json ~snapshot ~snapshot_every
+    ~resume =
   let module Registry = Sl_runtime.Registry in
   let module Engine = Sl_runtime.Engine in
   let module Ingest = Sl_runtime.Ingest in
+  let module Session = Sl_runtime.Session in
   let module Verdict = Sl_runtime.Verdict in
   let alphabet = 2 in
+  let flags_ok =
+    match snapshot_every with
+    | Some n when n <= 0 ->
+        Format.eprintf "monitor: --snapshot-every must be positive@.";
+        false
+    | Some _ when snapshot = None ->
+        Format.eprintf "monitor: --snapshot-every needs --snapshot FILE@.";
+        false
+    | _ -> true
+  in
+  if not flags_ok then 2
+  else begin
   let registry = Registry.create ~alphabet () in
   let prop_errors =
     let ic = open_in props_file in
@@ -337,8 +358,19 @@ let monitor_stream ~props_file ~trace_file ~json =
     2
   end
   else begin
-    let engine = Engine.create ~monitors:(Registry.monitors registry) () in
-    let ingest = Ingest.create () in
+    match
+      match resume with
+      | None -> Ok (Session.create ~registry ())
+      | Some path -> Session.load ~registry ~path ()
+    with
+    | Error e ->
+        Format.eprintf "%s: cannot resume: %s@."
+          (Option.value ~default:"" resume)
+          (Session.restore_error_to_string e);
+        2
+    | Ok session ->
+    let engine = Session.engine session in
+    let ingest = Session.ingest session in
     let trace_errors = ref 0 in
     let source, ic, close =
       match trace_file with
@@ -347,20 +379,31 @@ let monitor_stream ~props_file ~trace_file ~json =
           let ic = open_in f in
           (f, ic, fun () -> close_in_noerr ic)
     in
+    let last_snap = ref (Engine.events engine) in
     let t0 = Sys.time () in
-    Fun.protect ~finally:close (fun () ->
-        Ingest.read_channel ~alphabet ingest ic
-          ~on_chunk:(fun c ->
-            Engine.feed engine ~n:c.Ingest.len ~traces:c.Ingest.trace_ids
-              ~symbols:c.Ingest.symbols ())
-          ~on_error:(fun ~line msg ->
-            incr trace_errors;
-            Format.eprintf "%s:%d: %s (line skipped)@." source line msg));
+    match
+      Fun.protect ~finally:close (fun () ->
+          Ingest.read_channel ~alphabet ingest ic
+            ~on_chunk:(fun c ->
+              Engine.feed engine ~n:c.Ingest.len ~traces:c.Ingest.trace_ids
+                ~symbols:c.Ingest.symbols ();
+              match (snapshot, snapshot_every) with
+              | Some path, Some every
+                when Engine.events engine - !last_snap >= every ->
+                  Session.save session ~path;
+                  last_snap := Engine.events engine
+              | _ -> ())
+            ~on_error:(fun ~line msg ->
+              incr trace_errors;
+              Format.eprintf "%s:%d: %s (line skipped)@." source line msg));
+      Option.iter (fun path -> Session.save session ~path) snapshot
+    with
+    | exception Sys_error msg ->
+        Format.eprintf "monitor: cannot write snapshot: %s@." msg;
+        2
+    | () ->
     let elapsed_s = Sys.time () -. t0 in
-    let report =
-      Verdict.make ~registry ~engine ~trace_name:(Ingest.name ingest)
-        ~elapsed_s ()
-    in
+    let report = Verdict.of_session ~elapsed_s session () in
     (* Single exit path: render the whole report first (JSON or text),
        then one [finish] prints it, flushes stdout, and returns the
        code — so a partially written [--json] document can't be left
@@ -378,6 +421,7 @@ let monitor_stream ~props_file ~trace_file ~json =
       (if prop_errors <> [] || !trace_errors > 0 then 2
        else if report.Verdict.counters.Verdict.violations > 0 then 1
        else 0)
+  end
   end
 
 let monitor_cmd =
@@ -412,9 +456,37 @@ let monitor_cmd =
     let doc = "Emit the verdict report as JSON instead of text." in
     Arg.(value & flag & info [ "json" ] ~doc)
   in
-  let run props trace_file json formula trace =
+  let snapshot_arg =
+    let doc =
+      "Write the session state (engine state, trace-id table, counters) \
+       to $(docv) as a sl-artifact blob when the stream ends, atomically. \
+       A later run can $(b,--resume) it against the same property file."
+    in
+    Arg.(value & opt (some string) None & info [ "snapshot" ] ~docv:"FILE" ~doc)
+  in
+  let snapshot_every_arg =
+    let doc =
+      "Also rewrite the $(b,--snapshot) file during the run, after each \
+       ingested chunk that crosses an $(docv)-event interval — bounds the \
+       events lost to a crash."
+    in
+    Arg.(
+      value & opt (some int) None & info [ "snapshot-every" ] ~docv:"N" ~doc)
+  in
+  let resume_arg =
+    let doc =
+      "Resume from a session snapshot before reading the trace. The \
+       snapshot must have been taken against a structurally identical \
+       registry (same properties, same order); a mismatched or corrupt \
+       snapshot refuses to load (exit 2)."
+    in
+    Arg.(value & opt (some file) None & info [ "resume" ] ~docv:"FILE" ~doc)
+  in
+  let run props trace_file json snapshot snapshot_every resume formula trace =
     match (props, formula) with
-    | Some props_file, _ -> monitor_stream ~props_file ~trace_file ~json
+    | Some props_file, _ ->
+        monitor_stream ~props_file ~trace_file ~json ~snapshot
+          ~snapshot_every ~resume
     | None, Some s -> monitor_oneshot s trace
     | None, None ->
         Format.eprintf
@@ -428,8 +500,10 @@ let monitor_cmd =
           (streaming with --props/--trace, or one-shot on a formula)")
     (obs_term
        Term.(
-         const (fun props tf json f tr () -> run props tf json f tr)
-         $ props_arg $ trace_file_arg $ json_arg $ formula_opt_arg
+         const (fun props tf json snap every resume f tr () ->
+             run props tf json snap every resume f tr)
+         $ props_arg $ trace_file_arg $ json_arg $ snapshot_arg
+         $ snapshot_every_arg $ resume_arg $ formula_opt_arg
          $ trace_pos_arg))
 
 (* Offline compile phase: property file -> one monitor-pack artifact.

@@ -23,7 +23,7 @@ let as_complemented l : (module Theory.COMPLEMENTED with type t = Lattice.elt)
       match Lattice.complements l a with [] -> None | b :: _ -> Some b
   end)
 
-let check_hypotheses ?(need_distributive = false) l =
+let check_hypotheses_fresh ~need_distributive l =
   if not (Lattice.is_complemented l) then
     failf "lattice not complemented (elements %s lack complements)"
       (String.concat ","
@@ -37,6 +37,51 @@ let check_hypotheses ?(need_distributive = false) l =
     | Some (a, b, c) -> failf "lattice not modular at (%d,%d,%d)" a b c
     | None -> assert false)
   else Ok ()
+
+(* Hypothesis verification is pure in the lattice but costs O(n^3); the
+   exhaustive sweeps and benches re-verify the same lattice once per
+   closure (resp. per pair), so verdicts are memoized by physical
+   identity. Each memo is an immutable assoc list behind an [Atomic]:
+   domains fanned out by [check_all_closures] race only to duplicate a
+   pure computation, never to observe a torn table. The cap keeps
+   throwaway lattices from property tests from growing it unboundedly. *)
+let memo_cap = 16
+
+let memo_find memo l =
+  List.find_map
+    (fun (l', r) -> if l' == l then Some r else None)
+    (Atomic.get memo)
+
+let rec memo_add memo l r =
+  let old = Atomic.get memo in
+  if List.exists (fun (l', _) -> l' == l) old then ()
+  else begin
+    let trimmed =
+      if List.length old >= memo_cap then
+        List.filteri (fun i _ -> i < memo_cap - 1) old
+      else old
+    in
+    if not (Atomic.compare_and_set memo old ((l, r) :: trimmed)) then
+      memo_add memo l r
+  end
+
+let modular_hypotheses_memo : (Lattice.t * report) list Atomic.t =
+  Atomic.make []
+
+let distributive_hypotheses_memo : (Lattice.t * report) list Atomic.t =
+  Atomic.make []
+
+let check_hypotheses ?(need_distributive = false) l =
+  let memo =
+    if need_distributive then distributive_hypotheses_memo
+    else modular_hypotheses_memo
+  in
+  match memo_find memo l with
+  | Some r -> r
+  | None ->
+      let r = check_hypotheses_fresh ~need_distributive l in
+      memo_add memo l r;
+      r
 
 let check_theorem3 l ~cl1 ~cl2 =
   match check_hypotheses l with

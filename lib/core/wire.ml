@@ -15,6 +15,7 @@ let kind_packed_dfa = 1
 let kind_buchi = 2
 let kind_digraph = 3
 let kind_pack = 4
+let kind_session = 5
 
 (* FNV-1a, 64-bit. Int64 multiplication wraps, which is exactly the
    mod-2^64 arithmetic the hash is defined over. *)

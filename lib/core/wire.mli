@@ -27,6 +27,7 @@ val kind_packed_dfa : int
 val kind_buchi : int
 val kind_digraph : int
 val kind_pack : int
+val kind_session : int
 
 (** {1 Writing} *)
 

@@ -40,7 +40,17 @@ let m3_label = function
   | x -> string_of_int x
 
 let chain n = Lattice.of_poset (Poset.chain n)
-let boolean n = Lattice.of_poset (Poset.powerset n)
+
+(* Boolean lattices are fixed objects like [n5] and [m3]; the small ones
+   are built once at module init so repeated [boolean n] calls (sweeps,
+   benches, property tests) share one immutable instance instead of
+   rebuilding the 2^n x 2^n meet/join tables every time. *)
+let boolean_fresh n = Lattice.of_poset (Poset.powerset n)
+let boolean_small = Array.init 6 boolean_fresh
+
+let boolean n =
+  if n >= 0 && n < Array.length boolean_small then boolean_small.(n)
+  else boolean_fresh n
 
 let diamond k =
   if k = 0 then chain 2

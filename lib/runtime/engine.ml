@@ -31,11 +31,20 @@ type trace = {
   tripped_at : int array;
 }
 
-type t = {
+(* The immutable compiled plan: everything a run needs that is a pure
+   function of the registry's compiled monitors. Separated from the
+   mutable run state so the session layer can snapshot/restore runs
+   against a plan recompiled in another process — the plan is identified
+   by the registry fingerprint, never serialized itself. *)
+type plan = {
   monitors : Packed_dfa.t array;
   alphabet : int;
   nvacuous : int;
   npretripped : int;
+}
+
+type t = {
+  plan : plan;
   jobs : int;
   threshold : int;
   mutable traces : trace option array;
@@ -45,12 +54,7 @@ type t = {
   mutable retired_ok : int;
 }
 
-let create ?jobs ?(threshold = 65536) ~monitors () =
-  let jobs =
-    match jobs with Some j -> j | None -> Sl_core.Pool.default_jobs ()
-  in
-  if jobs < 1 then invalid_arg "Engine.create: jobs must be >= 1";
-  if threshold < 0 then invalid_arg "Engine.create: threshold must be >= 0";
+let plan_of_monitors monitors =
   let alphabet =
     match Array.length monitors with
     | 0 -> 1
@@ -59,7 +63,8 @@ let create ?jobs ?(threshold = 65536) ~monitors () =
         Array.iter
           (fun pd ->
             if pd.Packed_dfa.alphabet <> a then
-              invalid_arg "Engine.create: monitors over different alphabets")
+              invalid_arg "Engine.plan_of_monitors: monitors over different \
+                           alphabets")
           monitors;
         a
   in
@@ -69,9 +74,23 @@ let create ?jobs ?(threshold = 65536) ~monitors () =
       if pd.Packed_dfa.vacuous then incr nvacuous;
       if pd.Packed_dfa.pre_tripped then incr npretripped)
     monitors;
-  { monitors; alphabet; nvacuous = !nvacuous; npretripped = !npretripped;
-    jobs; threshold; traces = Array.make 4 None; ntraces = 0; events = 0;
-    tripped = 0; retired_ok = 0 }
+  { monitors; alphabet; nvacuous = !nvacuous; npretripped = !npretripped }
+
+let of_plan ?jobs ?(threshold = 65536) plan =
+  let jobs =
+    match jobs with Some j -> j | None -> Sl_core.Pool.default_jobs ()
+  in
+  if jobs < 1 then invalid_arg "Engine.of_plan: jobs must be >= 1";
+  if threshold < 0 then invalid_arg "Engine.of_plan: threshold must be >= 0";
+  { plan; jobs; threshold; traces = Array.make 4 None; ntraces = 0;
+    events = 0; tripped = 0; retired_ok = 0 }
+
+let create ?jobs ?threshold ~monitors () =
+  of_plan ?jobs ?threshold (plan_of_monitors monitors)
+
+let plan eng = eng.plan
+let plan_monitors plan = plan.monitors
+let plan_alphabet plan = plan.alphabet
 
 (* (Re)initialize a trace record in place: every non-vacuous monitor
    starts live in the packed start state, except pre-tripped (empty
@@ -93,10 +112,10 @@ let init_trace eng (tr : trace) =
           tr.nlive <- tr.nlive + 1
         end
       end)
-    eng.monitors
+    eng.plan.monitors
 
 let mk_trace eng =
-  let m = Array.length eng.monitors in
+  let m = Array.length eng.plan.monitors in
   let tr =
     { states = Array.make (max m 1) 0; live = Array.make (max m 1) 0;
       nlive = 0; events = 0; tripped_at = Array.make (max m 1) (-1) }
@@ -128,10 +147,11 @@ let get_trace eng id =
 let step_trace eng (tr : trace) symbol =
   tr.events <- tr.events + 1;
   eng.events <- eng.events + 1;
+  let monitors = eng.plan.monitors in
   let i = ref 0 in
   while !i < tr.nlive do
     let m = Array.unsafe_get tr.live !i in
-    let pd = Array.unsafe_get eng.monitors m in
+    let pd = Array.unsafe_get monitors m in
     let s' =
       Array.unsafe_get pd.Packed_dfa.trans
         ((Array.unsafe_get tr.states m * pd.Packed_dfa.alphabet) + symbol)
@@ -186,10 +206,10 @@ let step_trace_sharded monitors (tr : trace) symbol ~tripped ~retired =
   done
 
 let check_symbol eng symbol =
-  if symbol < 0 || symbol >= eng.alphabet then
+  if symbol < 0 || symbol >= eng.plan.alphabet then
     invalid_arg
       (Printf.sprintf "Engine: symbol %d outside alphabet [0, %d)" symbol
-         eng.alphabet)
+         eng.plan.alphabet)
 
 let live_count eng =
   let n = ref 0 in
@@ -255,7 +275,7 @@ let feed_parallel eng ~off ~n ~traces ~symbols =
         if id mod jobs = shard then
           match Array.unsafe_get engine_traces id with
           | Some tr ->
-              step_trace_sharded eng.monitors tr
+              step_trace_sharded eng.plan.monitors tr
                 (Array.unsafe_get symbols k) ~tripped ~retired
           | None -> ()
       done;
@@ -311,13 +331,13 @@ let reset eng =
     (function Some tr -> init_trace eng tr | None -> ())
     eng.traces
 
-let nmonitors eng = Array.length eng.monitors
+let nmonitors eng = Array.length eng.plan.monitors
 let jobs eng = eng.jobs
 let ntraces eng = eng.ntraces
 let events eng = eng.events
 let tripped eng = eng.tripped
 let retired_admissible eng = eng.retired_ok
-let nvacuous eng = eng.nvacuous
+let nvacuous eng = eng.plan.nvacuous
 
 let live eng =
   let n = ref 0 in
@@ -329,7 +349,7 @@ let trace_events eng id =
   else match eng.traces.(id) with Some tr -> tr.events | None -> 0
 
 let verdict eng ~trace ~monitor =
-  let pd = eng.monitors.(monitor) in
+  let pd = eng.plan.monitors.(monitor) in
   let fresh () =
     if pd.Packed_dfa.vacuous then Vacuous
     else if pd.Packed_dfa.pre_tripped then Violation { position = 0 }
@@ -344,3 +364,86 @@ let verdict eng ~trace ~monitor =
         else if tr.tripped_at.(monitor) >= 0 then
           Violation { position = tr.tripped_at.(monitor) }
         else Admissible
+
+(* Externalization: the packed per-trace state as plain arrays, so the
+   session codec can serialize a run without reaching into the engine's
+   representation. [ts_states] and [ts_tripped_at] are full M-length
+   copies; [ts_live] is the compact live list in list order, so a
+   restored trace retires monitors in the same order as the original
+   run would — byte-identical continuation. *)
+type trace_state = {
+  ts_events : int;
+  ts_states : int array;
+  ts_live : int array;
+  ts_tripped_at : int array;
+}
+
+let export_trace eng id =
+  if id < 0 || id >= Array.length eng.traces then None
+  else
+    match eng.traces.(id) with
+    | None -> None
+    | Some tr ->
+        let m = Array.length eng.plan.monitors in
+        Some
+          { ts_events = tr.events;
+            ts_states = Array.sub tr.states 0 m;
+            ts_live = Array.sub tr.live 0 tr.nlive;
+            ts_tripped_at = Array.sub tr.tripped_at 0 m }
+
+(* Restoring trusts nothing: a snapshot is bytes from disk, so every
+   field is validated against the plan before it touches engine state.
+   Raises [Invalid_argument] on any inconsistency — the session decoder
+   wraps that into [Wire.Corrupt]. *)
+let restore_trace eng id (ts : trace_state) =
+  let monitors = eng.plan.monitors in
+  let m = Array.length monitors in
+  let fail fmt =
+    Printf.ksprintf
+      (fun s -> invalid_arg (Printf.sprintf "Engine.restore_trace: %s" s))
+      fmt
+  in
+  if Array.length ts.ts_states <> m then
+    fail "states length %d (have %d monitors)" (Array.length ts.ts_states) m;
+  if Array.length ts.ts_tripped_at <> m then
+    fail "tripped_at length %d (have %d monitors)"
+      (Array.length ts.ts_tripped_at) m;
+  if ts.ts_events < 0 then fail "negative event count %d" ts.ts_events;
+  if Array.length ts.ts_live > m then
+    fail "live list length %d (have %d monitors)" (Array.length ts.ts_live) m;
+  for i = 0 to m - 1 do
+    let s = ts.ts_states.(i) in
+    if s < 0 || s >= monitors.(i).Packed_dfa.nstates then
+      fail "monitor %d state %d outside [0, %d)" i s
+        monitors.(i).Packed_dfa.nstates;
+    let p = ts.ts_tripped_at.(i) in
+    if p < -1 || p > ts.ts_events then
+      fail "monitor %d trip position %d outside [-1, %d]" i p ts.ts_events
+  done;
+  let seen = Array.make (max m 1) false in
+  Array.iter
+    (fun mi ->
+      if mi < 0 || mi >= m then fail "live monitor %d outside [0, %d)" mi m;
+      if seen.(mi) then fail "monitor %d listed live twice" mi;
+      seen.(mi) <- true;
+      if ts.ts_tripped_at.(mi) >= 0 then
+        fail "monitor %d both live and tripped" mi;
+      if monitors.(mi).Packed_dfa.vacuous then
+        fail "vacuous monitor %d listed live" mi)
+    ts.ts_live;
+  (* [get_trace] materializes (and init_trace-counts pre-tripped
+     monitors into [eng.tripped]); the blits below overwrite the fresh
+     state, and [set_counters] afterwards overwrites the counters. *)
+  let tr = get_trace eng id in
+  Array.blit ts.ts_states 0 tr.states 0 m;
+  Array.blit ts.ts_tripped_at 0 tr.tripped_at 0 m;
+  Array.blit ts.ts_live 0 tr.live 0 (Array.length ts.ts_live);
+  tr.nlive <- Array.length ts.ts_live;
+  tr.events <- ts.ts_events
+
+let set_counters eng ~events ~tripped ~retired_admissible =
+  if events < 0 || tripped < 0 || retired_admissible < 0 then
+    invalid_arg "Engine.set_counters: negative counter";
+  eng.events <- events;
+  eng.tripped <- tripped;
+  eng.retired_ok <- retired_admissible

@@ -20,10 +20,29 @@ type verdict =
 
 type t
 
+type plan
+(** The immutable compiled plan: monitors, alphabet, and the derived
+    vacuous/pre-tripped census. A pure function of the registry's
+    compiled monitors — shareable across engines and never mutated by a
+    run, which is what lets the session layer snapshot only the mutable
+    run state and re-attach it to a plan recompiled elsewhere. *)
+
+val plan_of_monitors : Packed_dfa.t array -> plan
+(** All monitors must share an alphabet (the registry guarantees this).
+    @raise Invalid_argument otherwise. *)
+
+val of_plan : ?jobs:int -> ?threshold:int -> plan -> t
+(** A fresh run (no traces, zero counters) over [plan]. [jobs] and
+    [threshold] as in {!create}. *)
+
+val plan : t -> plan
+val plan_monitors : plan -> Packed_dfa.t array
+val plan_alphabet : plan -> int
+
 val create :
   ?jobs:int -> ?threshold:int -> monitors:Packed_dfa.t array -> unit -> t
-(** All monitors must share an alphabet (the registry guarantees this).
-    @raise Invalid_argument otherwise.
+(** [plan_of_monitors] composed with [of_plan].
+    @raise Invalid_argument if the monitors disagree on alphabet.
 
     [jobs] (default {!Sl_core.Pool.default_jobs}) sets the engine's
     domain-pool width: {!feed} chunks shard their traces across [jobs]
@@ -83,3 +102,41 @@ val retired_admissible : t -> int
 
 val nvacuous : t -> int
 (** Vacuous monitors (per trace; they are never instantiated live). *)
+
+(** {1 Run-state externalization}
+
+    The session codec's view of a run: per-trace packed state as plain
+    arrays, plus the engine-global counters. Exporting copies out of the
+    engine; restoring validates every field against the plan before
+    touching engine state, so a corrupted snapshot can never leave the
+    engine in a state the run loop couldn't have produced. *)
+
+type trace_state = {
+  ts_events : int;  (** events this trace has seen *)
+  ts_states : int array;  (** current DFA state per monitor (length M) *)
+  ts_live : int array;
+      (** live monitor indices in live-list order — order matters for
+          byte-identical continuation *)
+  ts_tripped_at : int array;
+      (** trip position per monitor, [-1] if not tripped (length M) *)
+}
+
+val export_trace : t -> int -> trace_state option
+(** [None] for ids the engine has never materialized. *)
+
+val restore_trace : t -> int -> trace_state -> unit
+(** Materialize trace [id] and overwrite its state. Validates lengths
+    against the monitor count, states against each monitor's state
+    count, trip positions against the event count, and the live list
+    for range/duplicates/consistency with [ts_tripped_at].
+    @raise Invalid_argument on any inconsistency.
+
+    Restore traces {e first}, then {!set_counters}: materializing a
+    trace counts pre-tripped monitors into the engine's [tripped]
+    counter, which [set_counters] then overwrites with the snapshot's
+    totals. *)
+
+val set_counters :
+  t -> events:int -> tripped:int -> retired_admissible:int -> unit
+(** Overwrite the engine-global counters with a snapshot's totals.
+    @raise Invalid_argument if any is negative. *)

@@ -20,6 +20,8 @@ let name t id =
   if id < 0 || id >= t.n then invalid_arg "Ingest.name";
   t.names.(id)
 
+let names t = Array.sub t.names 0 t.n
+
 let intern t s =
   match Hashtbl.find_opt t.tbl s with
   | Some id -> id

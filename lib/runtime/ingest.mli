@@ -13,6 +13,13 @@ type t
 val create : unit -> t
 val ntraces : t -> int
 val name : t -> int -> string
+
+val names : t -> string array
+(** All interned trace ids in first-seen order ([names t].(id) is
+    [name t id]) — the table the session codec externalizes. Re-interning
+    the array in order into a fresh interner reproduces the id
+    assignment exactly. *)
+
 val intern : t -> string -> int
 
 val parse_line :

@@ -52,6 +52,34 @@ let hits t = t.hits
 
 let stats t =
   { props = t.nprops; distinct_monitors = t.nmonitors; hashcons_hits = t.hits }
+
+(* The registry's structural identity, for snapshot compatibility: a
+   session saved against one registry may only be restored against a
+   registry with the same alphabet, the same properties in the same
+   order, mapped to monitors with the same canonical BFS keys. The
+   compile path (cold, cached, any [jobs]) is deterministic in all of
+   these, so a cache-recompiled registry fingerprints identically.
+   Fields are length-prefixed so no concatenation of distinct
+   registries can collide textually. *)
+let fingerprint t =
+  let b = Buffer.create 256 in
+  let field s =
+    Buffer.add_string b (string_of_int (String.length s));
+    Buffer.add_char b ':';
+    Buffer.add_string b s
+  in
+  field "slc-registry/1";
+  field (string_of_int t.alphabet);
+  field (string_of_int t.nprops);
+  for i = 0 to t.nprops - 1 do
+    field t.props.(i).name;
+    field (string_of_int t.props.(i).monitor)
+  done;
+  field (string_of_int t.nmonitors);
+  for m = 0 to t.nmonitors - 1 do
+    field (Packed_dfa.key t.monitors.(m))
+  done;
+  Sl_core.Wire.fnv64_hex (Buffer.contents b)
 let prop t i = t.props.(i)
 let monitor_of_prop t i = t.props.(i).monitor
 let monitors t = Array.sub t.monitors 0 t.nmonitors

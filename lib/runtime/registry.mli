@@ -78,6 +78,16 @@ type stats = {
 val stats : t -> stats
 (** Total vs deduplicated compiled-monitor counts in one snapshot. *)
 
+val fingerprint : t -> string
+(** The registry's structural identity as 16 hex digits: alphabet,
+    properties (name and monitor assignment, in order), and each
+    distinct monitor's canonical BFS key. Two registries compiled from
+    the same property list over the same alphabet — cold, warm-started
+    from a cache, at any [jobs] — fingerprint identically; any change
+    to a property, its order, or a compiled table changes it. Session
+    snapshots embed this and refuse to restore against a registry whose
+    fingerprint differs. *)
+
 val prop : t -> int -> prop
 val props : t -> prop list
 val monitor_of_prop : t -> int -> int

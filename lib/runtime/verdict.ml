@@ -124,6 +124,11 @@ let make ~registry ~engine ~trace_name ?elapsed_s () =
   in
   { counters; prop_summaries; rows; engine_metrics }
 
+let of_session ?elapsed_s session () =
+  let ingest = Session.ingest session in
+  make ~registry:(Session.registry session) ~engine:(Session.engine session)
+    ~trace_name:(Ingest.name ingest) ?elapsed_s ()
+
 let verdict_to_string = function
   | Engine.Vacuous -> "vacuous"
   | Engine.Admissible -> "admissible"

@@ -63,6 +63,11 @@ val make :
   registry:Registry.t -> engine:Engine.t -> trace_name:(int -> string) ->
   ?elapsed_s:float -> unit -> report
 
+val of_session : ?elapsed_s:float -> Session.t -> unit -> report
+(** {!make} over a session's registry, engine and interner — trace
+    names come from {!Ingest.name}, so a restored session reports the
+    original external trace ids. *)
+
 val verdict_to_string : Engine.verdict -> string
 
 val pp_text : Format.formatter -> report -> unit

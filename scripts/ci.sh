@@ -4,7 +4,7 @@
 # SLC_JOBS=4 so every parallel path runs sharded), run every example
 # program, exercise the CLI (including the observability surface:
 # --metrics / --trace-out, and the -j byte-identity cross-checks), then
-# regenerate the benchmark trajectory JSON (writes BENCH_PR6.json at the
+# regenerate the benchmark trajectory JSON (writes BENCH_PR7.json at the
 # repo root, with ratios against the most recent tracked BENCH_PR*.json).
 # Run from the repository root.
 set -eu
@@ -112,14 +112,18 @@ echo "--- slc --cache cold/warm smoke"
 cache_dir=$(mktemp -d /tmp/slc-ci-cache.XXXXXX)
 nocache=$(mktemp /tmp/slc-ci.XXXXXX.nocache)
 cached=$(mktemp /tmp/slc-ci.XXXXXX.cached)
-run_monitor() { # run_monitor OUT [extra flags...]
-  _out=$1; shift
+run_monitor_on() { # run_monitor_on OUT TRACE [extra flags...]
+  _out=$1; _trace=$2; shift 2
   status=0
   dune exec bin/slc.exe -- monitor --props examples/monitor.props \
-    --trace examples/monitor.events --json "$@" > "$_out.raw" || status=$?
+    --trace "$_trace" --json "$@" > "$_out.raw" || status=$?
   [ "$status" -eq 1 ]
   sed 's/"events_per_s": [0-9.]*/"events_per_s": X/' "$_out.raw" > "$_out"
   rm -f "$_out.raw"
+}
+run_monitor() { # run_monitor OUT [extra flags...]
+  _o=$1; shift
+  run_monitor_on "$_o" examples/monitor.events "$@"
 }
 run_monitor "$nocache"
 run_monitor "$cached" --cache "$cache_dir"   # cold: misses, stores
@@ -148,6 +152,69 @@ sed 's/"events_per_s": [0-9.]*/"events_per_s": X/' "$cached.raw" > "$cached"
 rm -f "$cached.raw"
 diff "$nocache" "$cached" || { echo "SLC_CACHE report differs"; exit 1; }
 rm -f "$nocache" "$cached"
+
+# Session snapshot/resume smoke: feed the first half of the stream and
+# snapshot, resume in a fresh process on the second half, and the final
+# report must be byte-identical to the uninterrupted run (modulo the
+# wall-clock events_per_s rate) — at -j 1, at -j 4, and resuming with a
+# warm --cache (the registry is recompiled from the cache and must
+# fingerprint identically). A corrupted snapshot must refuse to resume
+# with exit 2, never a wrong-but-running session.
+echo "--- slc monitor --snapshot/--resume smoke"
+snap=$(mktemp /tmp/slc-ci.XXXXXX.slsession)
+half1=$(mktemp /tmp/slc-ci.XXXXXX.half1)
+half2=$(mktemp /tmp/slc-ci.XXXXXX.half2)
+resumed=$(mktemp /tmp/slc-ci.XXXXXX.resumed)
+full=$(mktemp /tmp/slc-ci.XXXXXX.full)
+nlines=$(wc -l < examples/monitor.events)
+mid=$((nlines / 2))
+head -n "$mid" examples/monitor.events > "$half1"
+tail -n +"$((mid + 1))" examples/monitor.events > "$half2"
+for j in 1 4; do
+  run_monitor "$full" -j "$j"
+  status=0
+  dune exec bin/slc.exe -- monitor -j "$j" --props examples/monitor.props \
+    --trace "$half1" --snapshot "$snap" > /dev/null || status=$?
+  [ "$status" -le 1 ] || { echo "snapshot run failed"; exit 1; }
+  run_monitor_on "$resumed" "$half2" -j "$j" --resume "$snap"
+  diff "$full" "$resumed" \
+    || { echo "resumed -j $j report differs from uninterrupted"; exit 1; }
+done
+# Resume with a warm compile cache: recompiled-from-cache registry must
+# accept the snapshot and reproduce the same report.
+sess_cache_dir=$(mktemp -d /tmp/slc-ci-cache.XXXXXX)
+run_monitor "$full"
+status=0
+dune exec bin/slc.exe -- monitor --props examples/monitor.props \
+  --trace "$half1" --cache "$sess_cache_dir" --snapshot "$snap" > /dev/null \
+  || status=$?
+[ "$status" -le 1 ] || { echo "cached snapshot run failed"; exit 1; }
+run_monitor_on "$resumed" "$half2" --resume "$snap" --cache "$sess_cache_dir"
+diff "$full" "$resumed" \
+  || { echo "cache-warmed resume report differs"; exit 1; }
+# Periodic snapshots leave a valid final snapshot behind.
+status=0
+dune exec bin/slc.exe -- monitor --props examples/monitor.props \
+  --trace examples/monitor.events --snapshot "$snap" --snapshot-every 2 \
+  > /dev/null || status=$?
+[ "$status" -eq 1 ] || { echo "--snapshot-every run failed"; exit 1; }
+# A corrupted snapshot must exit 2.
+printf garbage > "$snap"
+status=0
+dune exec bin/slc.exe -- monitor --props examples/monitor.props \
+  --trace "$half2" --resume "$snap" > /dev/null 2>&1 || status=$?
+[ "$status" -eq 2 ] || { echo "corrupt snapshot not rejected"; exit 1; }
+# ... and a snapshot from a different registry must exit 2 too.
+dune exec bin/slc.exe -- monitor --props examples/monitor.props \
+  --trace "$half1" --snapshot "$snap" > /dev/null || true
+otherprops=$(mktemp /tmp/slc-ci.XXXXXX.props)
+printf 'G a\n' > "$otherprops"
+status=0
+dune exec bin/slc.exe -- monitor --props "$otherprops" \
+  --trace "$half2" --resume "$snap" > /dev/null 2>&1 || status=$?
+[ "$status" -eq 2 ] || { echo "foreign snapshot not rejected"; exit 1; }
+rm -f "$snap" "$half1" "$half2" "$resumed" "$full" "$otherprops"
+rm -rf "$sess_cache_dir"
 
 # Pack smoke: compile the example props into one artifact, list it back.
 echo "--- slc pack/unpack smoke"

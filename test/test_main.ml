@@ -19,6 +19,7 @@ let () =
       ("regex", Test_regex.tests);
       ("runtime", Test_runtime.tests);
       ("cache", Test_cache.tests);
+      ("session", Test_session.tests);
       ("obs", Test_obs.tests);
       ("acceptance", Test_acceptance.tests);
       ("properties", Test_properties.tests);
