@@ -4,7 +4,7 @@
      dune exec bench/main.exe              # all artifacts + all timings
      dune exec bench/main.exe ARTIFACT     # one artifact, no timings
      dune exec bench/main.exe bench        # timings only
-     dune exec bench/main.exe bench json   # timings -> BENCH_PR7.json
+     dune exec bench/main.exe bench json   # timings -> BENCH_PR8.json
 
    Artifacts (the paper's figures/tables, regenerated from scratch; see
    EXPERIMENTS.md for the mapping): fig1 fig2 rem ctl rabin
@@ -21,9 +21,11 @@
    cache, every probe misses and stores) vs warm (prewarmed cache, every
    probe hits and deserializes); the SESSION group times snapshot
    write, restore, and resuming the stream from its midpoint snapshot
-   vs replaying it cold.
+   vs replaying it cold; the SERVE group times the daemon's connection
+   path (parse + intern + feed + render, no sockets) at 1 and 4
+   multiplexed clients and both hot-reload commit paths.
 
-   [bench json] additionally writes the estimates to BENCH_PR7.json
+   [bench json] additionally writes the estimates to BENCH_PR8.json
    together with automaton-size counters, speedups against the seed,
    ratios against the most recent tracked BENCH_PR*.json for every bench
    name the two runs share, the parallel scaling curves, the cold/warm
@@ -322,6 +324,53 @@ let session_at_midpoint =
 let session_snapshot_blob =
   lazy (Sl_runtime.Session.to_artifact (Lazy.force session_at_midpoint))
 
+(* SERVE fixtures: the PARALLEL stream (10k events round-robin over 16
+   traces) pre-rendered to Ingest line-protocol bytes — once as a single
+   client's stream, and once split by trace across 4 clients with each
+   client's bytes cut into 8 slices, so the 4-conn series interleaves
+   reads the way the select loop does. Each run builds its own
+   session/daemon/connections (like session/cold-feed-10k, setup is part
+   of the story) and drains the NDJSON records inside the timed body:
+   rendering verdicts is part of the serving cost. *)
+let serve_lines =
+  lazy
+    (Array.init 10_000 (fun i ->
+         Printf.sprintf "t%d %d\n" multi_trace_ids.(i)
+           monitor_trace_syms.(i)))
+
+let serve_blob_all =
+  lazy (String.concat "" (Array.to_list (Lazy.force serve_lines)))
+
+let serve_slices_by_conn =
+  lazy
+    (let lines = Lazy.force serve_lines in
+     Array.init 4 (fun k ->
+         let mine = ref [] in
+         Array.iteri
+           (fun i line ->
+             if multi_trace_ids.(i) mod 4 = k then mine := line :: !mine)
+           lines;
+         let mine = Array.of_list (List.rev !mine) in
+         let per = (Array.length mine + 7) / 8 in
+         Array.init 8 (fun s ->
+             let lo = s * per in
+             let hi = min (Array.length mine) (lo + per) in
+             String.concat ""
+               (Array.to_list (Array.sub mine lo (max 0 (hi - lo)))))))
+
+let serve_daemon_fresh () = Sl_serve.Daemon.make (session_fresh ())
+
+(* A registry one property richer than the fleet (same alphabet): the
+   keyed carry-over path of a hot reload, as opposed to the
+   identical-fingerprint snapshot round-trip. *)
+let serve_reload_registry =
+  lazy
+    (let r = Sl_runtime.Registry.create ~alphabet:2 () in
+     List.iter
+       (fun f -> ignore (Sl_runtime.Registry.add_formula r f))
+       (monitor_fleet_props @ [ Sl_ltl.Formula.(g (prop "a")) ]);
+     r)
+
 let monitor_naive_fleet =
   List.map
     (fun f -> Sl_buchi.Monitor.create (Lexamples.automaton f))
@@ -605,6 +654,51 @@ let make_tests () =
             let s = session_fresh () in
             Sl_runtime.Engine.feed (Sl_runtime.Session.engine s) ~n:10_000
               ~traces:multi_trace_ids ~symbols:monitor_trace_syms ()) ];
+      (* SERVE: the daemon's connection path in-process — line parsing,
+         trace interning, engine feed, and NDJSON verdict rendering,
+         without socket syscalls — at 1 client and at 4 multiplexed
+         clients on one shared engine, plus the two hot-reload commit
+         paths on the midpoint session. *)
+      (* Fixtures are forced at group construction (the blob render and
+         the 101-prop registry compile must not leak into the first
+         timed run, which dominates a 0.25s quota). *)
+      (let blob = Lazy.force serve_blob_all in
+       let slices = Lazy.force serve_slices_by_conn in
+       let mid_session = Lazy.force session_at_midpoint in
+       let reload_registry = Lazy.force serve_reload_registry in
+       [ t "serve/conn-feed-10k-1conn" (fun () ->
+             let d = serve_daemon_fresh () in
+             let c = Sl_serve.Conn.create d in
+             Sl_serve.Conn.on_bytes c blob;
+             Sl_serve.Conn.on_eof c;
+             ignore (Sl_serve.Conn.drain_output c));
+         t "serve/conn-feed-10k-4conn" (fun () ->
+             let d = serve_daemon_fresh () in
+             let conns = Array.init 4 (fun _ -> Sl_serve.Conn.create d) in
+             for s = 0 to 7 do
+               for k = 0 to 3 do
+                 Sl_serve.Conn.on_bytes conns.(k) slices.(k).(s)
+               done
+             done;
+             Array.iter
+               (fun c ->
+                 Sl_serve.Conn.on_eof c;
+                 ignore (Sl_serve.Conn.drain_output c))
+               conns);
+         t "serve/reload-identical-100p" (fun () ->
+             match
+               Sl_serve.Reload.carry_over ~old_session:mid_session
+                 ~registry:monitor_registry ()
+             with
+             | Ok (_, carried) -> carried
+             | Error e -> failwith ("bench reload refused: " ^ e));
+         t "serve/reload-carryover-101p" (fun () ->
+             match
+               Sl_serve.Reload.carry_over ~old_session:mid_session
+                 ~registry:reload_registry ()
+             with
+             | Ok (_, carried) -> carried
+             | Error e -> failwith ("bench reload refused: " ^ e)) ]);
       (* Structural hierarchy classification. *)
       [ t "hierarchy/classify-128" (fun () ->
             Sl_buchi.Hierarchy.classify_structural (random_automaton 128)) ];
@@ -786,8 +880,8 @@ let read_prev_results path =
    still gets a baseline instead of an empty section. The chosen file is
    recorded in the output as "baseline_file" (null when none found). *)
 let baseline_chain =
-  [ "BENCH_PR6.json"; "BENCH_PR5.json"; "BENCH_PR4.json"; "BENCH_PR3.json";
-    "BENCH_PR2.json"; "BENCH_PR1.json" ]
+  [ "BENCH_PR7.json"; "BENCH_PR6.json"; "BENCH_PR5.json"; "BENCH_PR4.json";
+    "BENCH_PR3.json"; "BENCH_PR2.json"; "BENCH_PR1.json" ]
 
 let read_baseline () =
   List.find_map
@@ -894,7 +988,7 @@ let run_benchmarks_json ~path =
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
   p "  \"schema\": \"sl-bench-trajectory/1\",\n";
-  p "  \"pr\": \"PR7\",\n";
+  p "  \"pr\": \"PR8\",\n";
   p "  \"config\": {\"quota_s\": 0.25, \"limit\": 1000, \"estimator\": \"ols\"},\n";
   p "  \"cores\": %d,\n" (Domain.recommended_domain_count ());
   p "  \"results\": [\n";
@@ -929,7 +1023,7 @@ let run_benchmarks_json ~path =
     (match baseline with
     | Some (path, _) -> Printf.sprintf "\"%s\"" (json_escape path)
     | None -> "null");
-  p "  \"speedups_vs_pr6\": [\n";
+  p "  \"speedups_vs_pr7\": [\n";
   List.iteri
     (fun i (name, ns, base, ratio) ->
       p
@@ -982,6 +1076,23 @@ let run_benchmarks_json ~path =
     (match (resume, cold) with
     | Some r, Some c when r > 0.0 -> Printf.sprintf "%.2f" (c /. r)
     | _ -> "null");
+  (* The serving path: events/s through the connection state machine at
+     1 and 4 multiplexed clients, and the latency of committing a hot
+     reload on the midpoint session (identical registry = snapshot
+     round-trip; 101p = keyed per-monitor carry-over). *)
+  let serve1 = lookup "serve/conn-feed-10k-1conn" in
+  let serve4 = lookup "serve/conn-feed-10k-4conn" in
+  let reload_id = lookup "serve/reload-identical-100p" in
+  let reload_co = lookup "serve/reload-carryover-101p" in
+  let events_per_s = function
+    | Some ns when ns > 0.0 -> Printf.sprintf "%.0f" (1e9 *. 10_000.0 /. ns)
+    | _ -> "null"
+  in
+  p "  \"serve\": {\"feed_10k_1conn_ns\": %s, \"feed_10k_4conn_ns\": %s, \
+     \"events_per_s_1conn\": %s, \"events_per_s_4conn\": %s, \
+     \"reload_identical_ns\": %s, \"reload_carryover_ns\": %s},\n"
+    (num serve1) (num serve4) (events_per_s serve1) (events_per_s serve4)
+    (num reload_id) (num reload_co);
   let spans = span_summaries () in
   p "  \"span_summaries\": [\n";
   List.iteri
@@ -1008,7 +1119,7 @@ let () =
       List.iter (fun (_, f) -> f ()) artifacts;
       run_benchmarks ()
   | [ "bench" ] -> run_benchmarks ()
-  | [ "bench"; "json" ] -> run_benchmarks_json ~path:"BENCH_PR7.json"
+  | [ "bench"; "json" ] -> run_benchmarks_json ~path:"BENCH_PR8.json"
   | [ "bench"; "json"; path ] -> run_benchmarks_json ~path
   | names ->
       List.iter

@@ -393,9 +393,10 @@ let monitor_stream ~props_file ~trace_file ~json ~snapshot ~snapshot_every
                   Session.save session ~path;
                   last_snap := Engine.events engine
               | _ -> ())
-            ~on_error:(fun ~line msg ->
+            ~on_error:(fun e ->
               incr trace_errors;
-              Format.eprintf "%s:%d: %s (line skipped)@." source line msg));
+              Format.eprintf "%s: %s (line skipped)@." source
+                (Ingest.error_to_string e)));
       Option.iter (fun path -> Session.save session ~path) snapshot
     with
     | exception Sys_error msg ->
@@ -701,6 +702,114 @@ let modelcheck_cmd =
     (obs_term
        Term.(const (fun sys spec () -> run sys spec) $ system_arg $ spec_arg))
 
+(* Monitoring as a service: the slc monitor pipeline behind sockets.
+   All daemon logic lives in Sl_serve; this is flag plumbing. *)
+let serve_cmd =
+  let props_arg =
+    let doc =
+      "Property file: one LTL formula per line ('#' comments). SIGHUP \
+       re-reads it and hot-swaps the registry without dropping in-flight \
+       traces (refused if the carried traces cannot survive the change)."
+    in
+    Arg.(
+      required & opt (some file) None & info [ "props" ] ~docv:"FILE" ~doc)
+  in
+  let socket_arg =
+    let doc =
+      "Listen on a Unix-domain socket at $(docv) (stale socket files are \
+       replaced). Clients speak the 'trace-id symbol' line protocol and \
+       receive NDJSON verdict records; a first line starting with \
+       $(b,GET /metrics) gets the Prometheus exposition instead."
+    in
+    Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+  in
+  let port_arg =
+    let doc = "Also listen on TCP 127.0.0.1:$(docv) (same protocol)." in
+    Arg.(value & opt (some int) None & info [ "port" ] ~docv:"PORT" ~doc)
+  in
+  let snapshot_arg =
+    let doc =
+      "On graceful shutdown (SIGTERM/SIGINT), write the session state to \
+       $(docv) as a sl-artifact blob; a later $(b,--resume) on it \
+       continues the run byte-identically."
+    in
+    Arg.(value & opt (some string) None & info [ "snapshot" ] ~docv:"FILE" ~doc)
+  in
+  let resume_arg =
+    let doc =
+      "Restore the session from a snapshot before serving (must match the \
+       property file's registry fingerprint; refused otherwise, exit 2)."
+    in
+    Arg.(value & opt (some file) None & info [ "resume" ] ~docv:"FILE" ~doc)
+  in
+  let max_line_arg =
+    let doc =
+      "Per-connection input line cap in bytes; longer lines are reported \
+       as error records and skipped, never buffered."
+    in
+    Arg.(value & opt int 65536 & info [ "max-line" ] ~docv:"BYTES" ~doc)
+  in
+  let hwm_arg =
+    let doc =
+      "Per-connection output high-water mark in bytes: a connection whose \
+       unsent verdict queue exceeds this stops being read until the \
+       client drains it (back-pressure instead of unbounded memory)."
+    in
+    Arg.(value & opt int 262144 & info [ "hwm" ] ~docv:"BYTES" ~doc)
+  in
+  let quiet_arg =
+    let doc = "Suppress lifecycle notes on stderr." in
+    Arg.(value & flag & info [ "q"; "quiet" ] ~doc)
+  in
+  let run props socket port snapshot resume max_line hwm quiet =
+    Sl_serve.Loop.run
+      {
+        Sl_serve.Loop.props_file = props;
+        unix_socket = socket;
+        tcp_port = port;
+        jobs = None (* the -j obs wrapper already set the pool default *);
+        threshold = None;
+        snapshot;
+        resume;
+        max_line;
+        hwm;
+        quiet;
+      }
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the monitoring daemon: many concurrent client streams \
+          multiplexed onto one sharded engine, incremental NDJSON \
+          verdicts, SIGHUP hot reload, snapshot/resume lifecycle")
+    (obs_term
+       Term.(
+         const (fun p s pt sn r ml hw q () -> run p s pt sn r ml hw q)
+         $ props_arg $ socket_arg $ port_arg $ snapshot_arg $ resume_arg
+         $ max_line_arg $ hwm_arg $ quiet_arg))
+
+let version_cmd =
+  let module Wire = Sl_core.Wire in
+  let run () =
+    Format.printf "slc 1.0.0@.";
+    Format.printf "artifact format: sl-artifact/%d@." Wire.format_version;
+    Format.printf "artifact kinds: %s@."
+      (String.concat ", "
+         (List.map
+            (fun (name, kind) -> Printf.sprintf "%s(%d)" name kind)
+            [ ("dfa", Wire.kind_packed_dfa); ("buchi", Wire.kind_buchi);
+              ("digraph", Wire.kind_digraph); ("pack", Wire.kind_pack);
+              ("session", Wire.kind_session) ]));
+    Format.printf "report schema: sl-monitor-report/1@.";
+    0
+  in
+  Cmd.v
+    (Cmd.info "version"
+       ~doc:
+         "Print the CLI version and the supported artifact kinds and \
+          report schemas")
+    Term.(const run $ const ())
+
 let () =
   let doc = "the lattice-theoretic safety/liveness toolbox (PODC 2003)" in
   let info = Cmd.info "slc" ~version:"1.0.0" ~doc in
@@ -708,5 +817,6 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ classify_cmd; decompose_cmd; stats_cmd; rem_cmd; ctl_cmd;
-            dot_cmd; theorems_cmd; monitor_cmd; pack_cmd; unpack_cmd;
-            complement_cmd; regex_cmd; modelcheck_cmd ]))
+            dot_cmd; theorems_cmd; monitor_cmd; serve_cmd; pack_cmd;
+            unpack_cmd; complement_cmd; regex_cmd; modelcheck_cmd;
+            version_cmd ]))

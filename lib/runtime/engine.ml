@@ -52,6 +52,10 @@ type t = {
   mutable events : int;
   mutable tripped : int;
   mutable retired_ok : int;
+  mutable hook :
+    (trace:int -> monitor:int -> position:int -> tripped:bool -> unit) option;
+      (** incremental retirement callback; [None] (the default) keeps
+          the hot path at one comparison per retirement *)
 }
 
 let plan_of_monitors monitors =
@@ -83,7 +87,7 @@ let of_plan ?jobs ?(threshold = 65536) plan =
   if jobs < 1 then invalid_arg "Engine.of_plan: jobs must be >= 1";
   if threshold < 0 then invalid_arg "Engine.of_plan: threshold must be >= 0";
   { plan; jobs; threshold; traces = Array.make 4 None; ntraces = 0;
-    events = 0; tripped = 0; retired_ok = 0 }
+    events = 0; tripped = 0; retired_ok = 0; hook = None }
 
 let create ?jobs ?threshold ~monitors () =
   of_plan ?jobs ?threshold (plan_of_monitors monitors)
@@ -143,8 +147,14 @@ let get_trace eng id =
    the packed table; trip (and retire) on a rejecting state, retire as
    admissible-forever when no rejecting state is reachable anymore.
    Retirement is a swap-remove on the compact live list — no allocation
-   anywhere on this path. *)
-let step_trace eng (tr : trace) symbol =
+   anywhere on this path ([fire] closes over nothing when the hook is
+   [None]: one comparison per retirement, never per event). *)
+let fire eng ~trace ~monitor ~position ~tripped =
+  match eng.hook with
+  | None -> ()
+  | Some h -> h ~trace ~monitor ~position ~tripped
+
+let step_trace eng ~id (tr : trace) symbol =
   tr.events <- tr.events + 1;
   eng.events <- eng.events + 1;
   let monitors = eng.plan.monitors in
@@ -160,7 +170,8 @@ let step_trace eng (tr : trace) symbol =
       Array.unsafe_set tr.tripped_at m tr.events;
       eng.tripped <- eng.tripped + 1;
       tr.nlive <- tr.nlive - 1;
-      Array.unsafe_set tr.live !i (Array.unsafe_get tr.live tr.nlive)
+      Array.unsafe_set tr.live !i (Array.unsafe_get tr.live tr.nlive);
+      fire eng ~trace:id ~monitor:m ~position:tr.events ~tripped:true
     end
     else begin
       Array.unsafe_set tr.states m s';
@@ -168,17 +179,41 @@ let step_trace eng (tr : trace) symbol =
       else begin
         eng.retired_ok <- eng.retired_ok + 1;
         tr.nlive <- tr.nlive - 1;
-        Array.unsafe_set tr.live !i (Array.unsafe_get tr.live tr.nlive)
+        Array.unsafe_set tr.live !i (Array.unsafe_get tr.live tr.nlive);
+        fire eng ~trace:id ~monitor:m ~position:tr.events ~tripped:false
       end
     end
   done
 
+(* Per-shard retirement log for the parallel feed: worker domains must
+   not call the hook (it belongs to the owning domain), so retirements
+   are recorded as flat int quadruples (trace, monitor, position,
+   tripped) and replayed after the join. Grows only at retirements,
+   which are bounded by monitors x traces over a whole run. *)
+type rvec = { mutable rbuf : int array; mutable rlen : int }
+
+let rvec_create () = { rbuf = Array.make 64 0; rlen = 0 }
+
+let rvec_push v ~trace ~monitor ~position ~tripped =
+  if v.rlen + 4 > Array.length v.rbuf then begin
+    let a = Array.make (2 * Array.length v.rbuf) 0 in
+    Array.blit v.rbuf 0 a 0 v.rlen;
+    v.rbuf <- a
+  end;
+  v.rbuf.(v.rlen) <- trace;
+  v.rbuf.(v.rlen + 1) <- monitor;
+  v.rbuf.(v.rlen + 2) <- position;
+  v.rbuf.(v.rlen + 3) <- (if tripped then 1 else 0);
+  v.rlen <- v.rlen + 4
+
 (* The same per-event walk for the sharded parallel feed: engine-global
    counters go into per-shard refs (summed into the engine after the
    join) instead of the shared engine fields, which worker domains must
-   not touch. Per-trace state needs no such care — each trace belongs
-   to exactly one shard. *)
-let step_trace_sharded monitors (tr : trace) symbol ~tripped ~retired =
+   not touch; retirements go into the shard's [rvec] (when a hook is
+   installed) for post-join replay. Per-trace state needs no such care
+   — each trace belongs to exactly one shard. *)
+let step_trace_sharded monitors ~id (tr : trace) symbol ~tripped ~retired
+    ~rvec =
   tr.events <- tr.events + 1;
   let i = ref 0 in
   while !i < tr.nlive do
@@ -192,7 +227,11 @@ let step_trace_sharded monitors (tr : trace) symbol ~tripped ~retired =
       Array.unsafe_set tr.tripped_at m tr.events;
       incr tripped;
       tr.nlive <- tr.nlive - 1;
-      Array.unsafe_set tr.live !i (Array.unsafe_get tr.live tr.nlive)
+      Array.unsafe_set tr.live !i (Array.unsafe_get tr.live tr.nlive);
+      (match rvec with
+      | None -> ()
+      | Some v ->
+          rvec_push v ~trace:id ~monitor:m ~position:tr.events ~tripped:true)
     end
     else begin
       Array.unsafe_set tr.states m s';
@@ -200,7 +239,12 @@ let step_trace_sharded monitors (tr : trace) symbol ~tripped ~retired =
       else begin
         incr retired;
         tr.nlive <- tr.nlive - 1;
-        Array.unsafe_set tr.live !i (Array.unsafe_get tr.live tr.nlive)
+        Array.unsafe_set tr.live !i (Array.unsafe_get tr.live tr.nlive);
+        match rvec with
+        | None -> ()
+        | Some v ->
+            rvec_push v ~trace:id ~monitor:m ~position:tr.events
+              ~tripped:false
       end
     end
   done
@@ -235,12 +279,12 @@ let record_chunk eng ~n ~t0_us ~mw0 ~tripped0 ~retired0 =
 let step eng ~trace ~symbol =
   check_symbol eng symbol;
   if not (Obs.is_enabled ()) then
-    step_trace eng (get_trace eng trace) symbol
+    step_trace eng ~id:trace (get_trace eng trace) symbol
   else begin
     let t0_us = Obs.Clock.now_us () in
     let mw0 = Gc.minor_words () in
     let tripped0 = eng.tripped and retired0 = eng.retired_ok in
-    step_trace eng (get_trace eng trace) symbol;
+    step_trace eng ~id:trace (get_trace eng trace) symbol;
     record_chunk eng ~n:1 ~t0_us ~mw0 ~tripped0 ~retired0
   end
 
@@ -266,17 +310,25 @@ let feed_parallel eng ~off ~n ~traces ~symbols =
   done;
   let jobs = eng.jobs in
   let tripped_by = Array.make jobs 0 and retired_by = Array.make jobs 0 in
+  let rvecs =
+    match eng.hook with
+    | None -> [||]
+    | Some _ -> Array.init jobs (fun _ -> rvec_create ())
+  in
   let pool = Sl_core.Pool.create ~jobs () in
   Sl_core.Pool.parallel_for ~chunk:1 pool ~n:jobs (fun shard ->
       let tripped = ref 0 and retired = ref 0 in
+      let rvec =
+        if Array.length rvecs = 0 then None else Some rvecs.(shard)
+      in
       let engine_traces = eng.traces in
       for k = off to off + n - 1 do
         let id = Array.unsafe_get traces k in
         if id mod jobs = shard then
           match Array.unsafe_get engine_traces id with
           | Some tr ->
-              step_trace_sharded eng.plan.monitors tr
-                (Array.unsafe_get symbols k) ~tripped ~retired
+              step_trace_sharded eng.plan.monitors ~id tr
+                (Array.unsafe_get symbols k) ~tripped ~retired ~rvec
           | None -> ()
       done;
       tripped_by.(shard) <- !tripped;
@@ -285,7 +337,24 @@ let feed_parallel eng ~off ~n ~traces ~symbols =
   for shard = 0 to jobs - 1 do
     eng.tripped <- eng.tripped + tripped_by.(shard);
     eng.retired_ok <- eng.retired_ok + retired_by.(shard)
-  done
+  done;
+  (* Replay the buffered retirements into the hook after the join, in
+     shard order — deterministic for a given [jobs], chronological
+     within each trace, and the engine's counters are already
+     consistent when the hook observes them. *)
+  match eng.hook with
+  | None -> ()
+  | Some h ->
+      Array.iter
+        (fun v ->
+          let i = ref 0 in
+          while !i < v.rlen do
+            h ~trace:v.rbuf.(!i) ~monitor:v.rbuf.(!i + 1)
+              ~position:v.rbuf.(!i + 2)
+              ~tripped:(v.rbuf.(!i + 3) = 1);
+            i := !i + 4
+          done)
+        rvecs
 
 let feed eng ?(off = 0) ~n ~traces ~symbols () =
   if off < 0 || n < 0 || off + n > Array.length traces
@@ -302,7 +371,8 @@ let feed eng ?(off = 0) ~n ~traces ~symbols () =
       for k = off to off + n - 1 do
         let symbol = Array.unsafe_get symbols k in
         check_symbol eng symbol;
-        step_trace eng (get_trace eng (Array.unsafe_get traces k)) symbol
+        let id = Array.unsafe_get traces k in
+        step_trace eng ~id (get_trace eng id) symbol
       done
   in
   if not (Obs.is_enabled ()) then run ()
@@ -330,6 +400,8 @@ let reset eng =
   Array.iter
     (function Some tr -> init_trace eng tr | None -> ())
     eng.traces
+
+let set_retire_hook eng h = eng.hook <- h
 
 let nmonitors eng = Array.length eng.plan.monitors
 let jobs eng = eng.jobs

@@ -80,6 +80,32 @@ val reset : t -> unit
 (** Reset all known traces to the initial state, in place (no
     allocation); counters restart from zero. *)
 
+(** {1 Incremental verdict hook}
+
+    The serving layer's window into the run: retirements surface as
+    they happen instead of only in the EOF report. *)
+
+val set_retire_hook :
+  t ->
+  (trace:int -> monitor:int -> position:int -> tripped:bool -> unit) option ->
+  unit
+(** Install (or clear) a callback fired once per (trace, distinct
+    monitor) retirement: [tripped = true] for a violation ([position]
+    is the 1-based shortest-bad-prefix position), [false] for
+    admissible-forever ([position] is the event at which no rejecting
+    state remained reachable). Each monitor instance retires at most
+    once ever, so the hook fires at most [ntraces * nmonitors] times
+    over a run. Pre-tripped (empty-property) monitors and vacuous
+    monitors never pass through the hook — they retire at trace
+    materialization, not at a step; callers see them in the plan.
+
+    Ordering: the sequential path fires the hook in exact event order.
+    The sharded parallel feed buffers retirements per shard during the
+    run and replays them after the join, shard 0 first — deterministic
+    for a given [jobs], chronological within each trace (a trace never
+    leaves its shard). The hook must not call back into the engine's
+    stepping API. Restoring a snapshot fires no hooks. *)
+
 (** {1 Metrics counters} *)
 
 val nmonitors : t -> int

@@ -54,6 +54,17 @@ let split_fields s =
   done;
   List.rev !fields
 
+type error = {
+  e_line : int;
+  e_trace : string option;
+  e_reason : string;
+}
+
+let error_to_string e =
+  match e.e_trace with
+  | Some t -> Printf.sprintf "line %d (trace %s): %s" e.e_line t e.e_reason
+  | None -> Printf.sprintf "line %d: %s" e.e_line e.e_reason
+
 let parse_line line =
   match split_fields line with
   | [] -> `Skip
@@ -61,10 +72,14 @@ let parse_line line =
   | [ trace; sym ] -> (
       match int_of_string_opt sym with
       | Some symbol when symbol >= 0 -> `Event (trace, symbol)
-      | Some _ -> `Malformed "negative symbol"
-      | None -> `Malformed (Printf.sprintf "symbol %S is not an integer" sym))
-  | [ _ ] -> `Malformed "expected \"trace-id symbol\", got one field"
-  | _ -> `Malformed "expected \"trace-id symbol\", got extra fields"
+      | Some _ -> `Malformed (Some trace, "negative symbol")
+      | None ->
+          `Malformed
+            (Some trace, Printf.sprintf "symbol %S is not an integer" sym))
+  | [ trace ] ->
+      `Malformed (Some trace, "expected \"trace-id symbol\", got one field")
+  | trace :: _ ->
+      `Malformed (Some trace, "expected \"trace-id symbol\", got extra fields")
 
 type chunk = {
   mutable len : int;
@@ -96,11 +111,14 @@ let read ?(chunk_size = 4096) ~alphabet t ~next_line ~on_chunk ~on_error =
         incr lineno;
         match parse_line line with
         | `Skip -> ()
-        | `Malformed msg -> on_error ~line:!lineno msg
-        | `Event (_, symbol) when symbol >= alphabet ->
-            on_error ~line:!lineno
-              (Printf.sprintf "symbol %d outside alphabet [0, %d)" symbol
-                 alphabet)
+        | `Malformed (trace, reason) ->
+            on_error { e_line = !lineno; e_trace = trace; e_reason = reason }
+        | `Event (trace, symbol) when symbol >= alphabet ->
+            on_error
+              { e_line = !lineno; e_trace = Some trace;
+                e_reason =
+                  Printf.sprintf "symbol %d outside alphabet [0, %d)" symbol
+                    alphabet }
         | `Event (trace, symbol) ->
             chunk.trace_ids.(chunk.len) <- intern t trace;
             chunk.symbols.(chunk.len) <- symbol;

@@ -22,11 +22,28 @@ val names : t -> string array
 
 val intern : t -> string -> int
 
+type error = {
+  e_line : int;  (** 1-based line number in the input stream *)
+  e_trace : string option;
+      (** the line's trace-id field when one could be recognized — a
+          daemon echoes the error to the client with the trace it
+          concerns, not just a line number *)
+  e_reason : string;
+}
+(** A structured per-line ingestion defect: malformed syntax, a
+    non-integer or negative symbol, or a symbol outside the alphabet.
+    The offending line is skipped; the record carries everything a
+    caller needs to report it (or echo it back over a socket). *)
+
+val error_to_string : error -> string
+(** ["line N (trace T): reason"] — the CLI's rendering. *)
+
 val parse_line :
   string ->
   [ `Event of string * int  (** trace id, nonnegative symbol *)
   | `Skip  (** blank or comment *)
-  | `Malformed of string ]
+  | `Malformed of string option * string
+    (** trace id (when recognizable) and reason *) ]
 
 type chunk = {
   mutable len : int;
@@ -42,13 +59,14 @@ val create_chunk : int -> chunk
 val read :
   ?chunk_size:int -> alphabet:int -> t ->
   next_line:(unit -> string option) -> on_chunk:(chunk -> unit) ->
-  on_error:(line:int -> string -> unit) -> unit
+  on_error:(error -> unit) -> unit
 (** Pull lines until [next_line] returns [None], batching valid events
     into chunks (default size 4096) and reporting malformed or
-    out-of-alphabet lines to [on_error]. *)
+    out-of-alphabet lines to [on_error] as structured {!error}
+    records. *)
 
 val read_channel :
   ?chunk_size:int -> alphabet:int -> t -> in_channel ->
-  on_chunk:(chunk -> unit) -> on_error:(line:int -> string -> unit) ->
+  on_chunk:(chunk -> unit) -> on_error:(error -> unit) ->
   unit
 (** {!read} over a channel ([stdin] or an opened trace file). *)

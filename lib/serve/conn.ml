@@ -1,0 +1,249 @@
+open Sl_runtime
+
+type mode =
+  | Lines  (* streaming the Ingest line protocol *)
+  | Http  (* one-shot GET answered, ignoring further input *)
+  | Done  (* EOF seen, draining *)
+
+type t = {
+  daemon : Daemon.t;
+  max_line : int;
+  hwm : int;
+  buf : Buffer.t;  (* at most one partial line *)
+  mutable oversized : bool;  (* discarding until the next newline *)
+  mutable nlines : int;
+  mutable mode : mode;
+  outq : string Queue.t;
+  mutable out_off : int;  (* written bytes of the queue head *)
+  mutable out_bytes : int;
+  chunk : Ingest.chunk;
+  touched : (int, unit) Hashtbl.t;
+  mutable greeted : bool;  (* hello queued (deferred past GET detection) *)
+  mutable conn_events : int;
+  mutable conn_errors : int;
+  mutable draining : bool;
+}
+
+let enqueue c s =
+  Queue.push s c.outq;
+  c.out_bytes <- c.out_bytes + String.length s
+
+let create ?(max_line = 65536) ?(hwm = 262144) daemon =
+  let c =
+    {
+      daemon;
+      max_line;
+      hwm;
+      buf = Buffer.create 256;
+      oversized = false;
+      nlines = 0;
+      mode = Lines;
+      outq = Queue.create ();
+      out_off = 0;
+      out_bytes = 0;
+      chunk = Ingest.create_chunk 4096;
+      touched = Hashtbl.create 16;
+      greeted = false;
+      conn_events = 0;
+      conn_errors = 0;
+      draining = false;
+    }
+  in
+  c
+
+(* The greeting opens every NDJSON stream, but only once the first line
+   has ruled out HTTP mode — a Prometheus scraper must see the status
+   line first, not a stray JSON record. *)
+let greet c =
+  if not c.greeted then begin
+    c.greeted <- true;
+    let registry = Daemon.registry c.daemon in
+    enqueue c
+      (Records.hello ~version:"1.0.0"
+         ~props:(Registry.nprops registry)
+         ~monitors:(Registry.nmonitors registry)
+         ~fingerprint:(Registry.fingerprint registry))
+  end
+
+let report c ~trace reason =
+  c.conn_errors <- c.conn_errors + 1;
+  enqueue c (Records.error ~line:c.nlines ~trace ~reason)
+
+let flush_chunk c =
+  if c.chunk.Ingest.len > 0 then begin
+    Daemon.feed c.daemon ~sink:(enqueue c) c.chunk;
+    c.chunk.Ingest.len <- 0
+  end
+
+let http c line =
+  c.mode <- Http;
+  c.draining <- true;
+  let path =
+    match String.split_on_char ' ' line with
+    | _ :: path :: _ -> path
+    | _ -> "/"
+  in
+  let status, ctype, body =
+    if path = "/metrics" then
+      ("200 OK", "text/plain; version=0.0.4", Sl_obs.Obs.Metrics.to_prometheus ())
+    else ("404 Not Found", "text/plain", "not found\n")
+  in
+  enqueue c
+    (Printf.sprintf
+       "HTTP/1.0 %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: \
+        close\r\n\r\n%s"
+       status ctype (String.length body) body)
+
+let process_line c line =
+  if c.nlines = 1 && String.length line >= 4 && String.sub line 0 4 = "GET "
+  then http c line
+  else begin
+    greet c;
+    match Ingest.parse_line line with
+    | `Skip -> ()
+    | `Malformed (trace, reason) -> report c ~trace reason
+    | `Event (trace, symbol) ->
+        let alphabet = Daemon.alphabet c.daemon in
+        if symbol >= alphabet then
+          report c ~trace:(Some trace)
+            (Printf.sprintf "symbol %d outside alphabet [0, %d)" symbol
+               alphabet)
+        else begin
+          let id = Ingest.intern (Daemon.ingest c.daemon) trace in
+          Hashtbl.replace c.touched id ();
+          c.chunk.Ingest.trace_ids.(c.chunk.Ingest.len) <- id;
+          c.chunk.Ingest.symbols.(c.chunk.Ingest.len) <- symbol;
+          c.chunk.Ingest.len <- c.chunk.Ingest.len + 1;
+          c.conn_events <- c.conn_events + 1;
+          if c.chunk.Ingest.len = Array.length c.chunk.Ingest.trace_ids then
+            flush_chunk c
+        end
+  end
+
+(* A complete line arrived: the partial buffer plus [seg]. *)
+let complete_line c seg =
+  c.nlines <- c.nlines + 1;
+  if c.oversized then begin
+    (* tail of a line already reported over-length — resynchronize *)
+    c.oversized <- false;
+    Buffer.clear c.buf
+  end
+  else if Buffer.length c.buf + String.length seg > c.max_line then begin
+    Buffer.clear c.buf;
+    report c ~trace:None
+      (Printf.sprintf "line exceeds %d bytes (skipped)" c.max_line)
+  end
+  else begin
+    let line =
+      if Buffer.length c.buf = 0 then seg
+      else begin
+        Buffer.add_string c.buf seg;
+        let l = Buffer.contents c.buf in
+        Buffer.clear c.buf;
+        l
+      end
+    in
+    process_line c line
+  end
+
+(* A partial line (no newline yet): buffer, or tip over the cap. *)
+let partial_line c seg =
+  if not c.oversized then begin
+    if Buffer.length c.buf + String.length seg > c.max_line then begin
+      c.oversized <- true;
+      Buffer.clear c.buf;
+      c.nlines <- c.nlines + 1;
+      report c ~trace:None
+        (Printf.sprintf "line exceeds %d bytes (skipped)" c.max_line);
+      (* the count stays on this line while we discard its tail *)
+      c.nlines <- c.nlines - 1
+    end
+    else Buffer.add_string c.buf seg
+  end
+
+let on_bytes c s =
+  if c.mode = Lines then begin
+    let n = String.length s in
+    let i = ref 0 in
+    while !i < n && c.mode = Lines do
+      match String.index_from_opt s !i '\n' with
+      | Some j ->
+          complete_line c (String.sub s !i (j - !i));
+          i := j + 1
+      | None ->
+          partial_line c (String.sub s !i (n - !i));
+          i := n
+    done;
+    flush_chunk c
+  end
+
+let on_eof c =
+  (match c.mode with
+  | Lines ->
+      greet c;
+      flush_chunk c;
+      if (not c.oversized) && Buffer.length c.buf > 0 then begin
+        (* final line without a newline *)
+        let line = Buffer.contents c.buf in
+        Buffer.clear c.buf;
+        c.nlines <- c.nlines + 1;
+        process_line c line;
+        flush_chunk c
+      end;
+      let ids =
+        Hashtbl.fold (fun id () acc -> id :: acc) c.touched []
+        |> List.sort compare
+      in
+      List.iter (fun id -> Daemon.dump c.daemon ~sink:(enqueue c) ~trace:id) ids;
+      enqueue c
+        (Daemon.summary c.daemon ~conn_events:c.conn_events
+           ~conn_errors:c.conn_errors)
+  | Http | Done -> ());
+  c.mode <- Done;
+  c.draining <- true
+
+let wants_read c =
+  (match c.mode with Lines -> true | Http | Done -> false)
+  && (not c.draining)
+  && c.out_bytes < c.hwm
+
+let next_output c =
+  match Queue.peek_opt c.outq with
+  | None -> None
+  | Some s -> Some (s, c.out_off)
+
+let consumed c n =
+  (match Queue.peek_opt c.outq with
+  | None -> invalid_arg "Conn.consumed: no pending output"
+  | Some s ->
+      let off = c.out_off + n in
+      if off > String.length s then invalid_arg "Conn.consumed: past the head";
+      if off = String.length s then begin
+        ignore (Queue.pop c.outq);
+        c.out_off <- 0
+      end
+      else c.out_off <- off);
+  c.out_bytes <- c.out_bytes - n
+
+let pending_output c = c.out_bytes
+
+let should_close c = c.draining && c.out_bytes = 0
+
+let drain_output c =
+  let buf = Buffer.create (c.out_bytes + 16) in
+  Queue.iter
+    (fun s ->
+      if Buffer.length buf = 0 && c.out_off > 0 then
+        Buffer.add_substring buf s c.out_off (String.length s - c.out_off)
+      else Buffer.add_string buf s)
+    c.outq;
+  Queue.clear c.outq;
+  c.out_off <- 0;
+  c.out_bytes <- 0;
+  Buffer.contents buf
+
+let touched c =
+  Hashtbl.fold (fun id () acc -> id :: acc) c.touched [] |> List.sort compare
+
+let events c = c.conn_events
+let errors c = c.conn_errors

@@ -1,0 +1,125 @@
+open Sl_runtime
+
+type t = {
+  mutable session : Session.t;
+  mutable props_of_monitor : string list array;
+      (* distinct monitor index -> property names riding on it, in
+         property-id order *)
+  mutable pretripped_props : string list;
+  mutable announced : int;
+      (* trace ids below this had their pre-tripped verdicts emitted
+         (or predate the daemon and are covered by EOF dumps) *)
+  mutable sink : string -> unit;
+}
+
+let drop (_ : string) = ()
+
+let props_by_monitor registry =
+  let buckets = Array.make (Registry.nmonitors registry) [] in
+  List.iter
+    (fun (p : Registry.prop) ->
+      buckets.(p.monitor) <- p.name :: buckets.(p.monitor))
+    (List.rev (Registry.props registry));
+  buckets
+
+let pretripped_of registry =
+  let monitors = Registry.monitors registry in
+  List.filter_map
+    (fun (p : Registry.prop) ->
+      if monitors.(p.monitor).Packed_dfa.pre_tripped then Some p.name
+      else None)
+    (Registry.props registry)
+
+let install_hook d =
+  Engine.set_retire_hook (Session.engine d.session)
+    (Some
+       (fun ~trace ~monitor ~position ~tripped ->
+         let tname = Ingest.name (Session.ingest d.session) trace in
+         List.iter
+           (fun prop ->
+             d.sink
+               (if tripped then
+                  Records.verdict_violation ~trace:tname ~prop ~position
+                    ~cause:"trip"
+                else Records.verdict_admissible ~trace:tname ~prop ~cause:"retire"))
+           d.props_of_monitor.(monitor)))
+
+let adopt d session =
+  d.session <- session;
+  let registry = Session.registry session in
+  d.props_of_monitor <- props_by_monitor registry;
+  d.pretripped_props <- pretripped_of registry;
+  d.announced <- Engine.ntraces (Session.engine session);
+  install_hook d
+
+let make session =
+  let d =
+    {
+      session;
+      props_of_monitor = [||];
+      pretripped_props = [];
+      announced = 0;
+      sink = drop;
+    }
+  in
+  adopt d session;
+  d
+
+let session d = d.session
+let registry d = Session.registry d.session
+let engine d = Session.engine d.session
+let ingest d = Session.ingest d.session
+let alphabet d = Registry.alphabet (registry d)
+let fingerprint d = Registry.fingerprint (registry d)
+
+let feed d ~sink (chunk : Ingest.chunk) =
+  let eng = Session.engine d.session in
+  d.sink <- sink;
+  Fun.protect
+    ~finally:(fun () -> d.sink <- drop)
+    (fun () ->
+      Engine.feed eng ~n:chunk.Ingest.len ~traces:chunk.Ingest.trace_ids
+        ~symbols:chunk.Ingest.symbols ());
+  let after = Engine.ntraces eng in
+  if after > d.announced then begin
+    (if d.pretripped_props <> [] then
+       let ing = Session.ingest d.session in
+       for id = d.announced to after - 1 do
+         let trace = Ingest.name ing id in
+         List.iter
+           (fun prop ->
+             sink
+               (Records.verdict_violation ~trace ~prop ~position:0
+                  ~cause:"pretripped"))
+           d.pretripped_props
+       done);
+    d.announced <- after
+  end
+
+let dump d ~sink ~trace =
+  let eng = Session.engine d.session in
+  let ing = Session.ingest d.session in
+  let tname = Ingest.name ing trace in
+  List.iter
+    (fun (p : Registry.prop) ->
+      sink
+        (match Engine.verdict eng ~trace ~monitor:p.monitor with
+        | Engine.Vacuous -> Records.verdict_vacuous ~trace:tname ~prop:p.name
+        | Engine.Admissible ->
+            Records.verdict_admissible ~trace:tname ~prop:p.name ~cause:"eof"
+        | Engine.Violation { position } ->
+            Records.verdict_violation ~trace:tname ~prop:p.name ~position
+              ~cause:"eof"))
+    (Registry.props (registry d))
+
+let summary d ~conn_events ~conn_errors =
+  let eng = Session.engine d.session in
+  Records.summary ~traces:(Engine.ntraces eng) ~events:(Engine.events eng)
+    ~props:(Registry.nprops (registry d))
+    ~monitors:(Engine.nmonitors eng) ~tripped:(Engine.tripped eng)
+    ~retired_admissible:(Engine.retired_admissible eng)
+    ~live:(Engine.live eng) ~conn_events ~conn_errors
+
+let swap_session d session =
+  Engine.set_retire_hook (Session.engine d.session) None;
+  adopt d session

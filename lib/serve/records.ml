@@ -1,0 +1,61 @@
+(* NDJSON record rendering. Hand-rolled like Verdict.to_json — no JSON
+   dependency; fixed field order keeps the bytes stable. *)
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | ch when Char.code ch < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code ch))
+      | ch -> Buffer.add_char buf ch)
+    s;
+  Buffer.contents buf
+
+let hello ~version ~props ~monitors ~fingerprint =
+  Printf.sprintf
+    "{\"type\": \"hello\", \"schema\": \"sl-monitor-report/1\", \
+     \"version\": \"%s\", \"props\": %d, \"monitors\": %d, \
+     \"fingerprint\": \"%s\"}\n"
+    (escape version) props monitors (escape fingerprint)
+
+let verdict_violation ~trace ~prop ~position ~cause =
+  Printf.sprintf
+    "{\"type\": \"verdict\", \"trace\": \"%s\", \"prop\": \"%s\", \
+     \"verdict\": \"violation\", \"position\": %d, \"cause\": \"%s\"}\n"
+    (escape trace) (escape prop) position cause
+
+let verdict_admissible ~trace ~prop ~cause =
+  Printf.sprintf
+    "{\"type\": \"verdict\", \"trace\": \"%s\", \"prop\": \"%s\", \
+     \"verdict\": \"admissible\", \"cause\": \"%s\"}\n"
+    (escape trace) (escape prop) cause
+
+let verdict_vacuous ~trace ~prop =
+  Printf.sprintf
+    "{\"type\": \"verdict\", \"trace\": \"%s\", \"prop\": \"%s\", \
+     \"verdict\": \"vacuous\", \"cause\": \"eof\"}\n"
+    (escape trace) (escape prop)
+
+let error ~line ~trace ~reason =
+  match trace with
+  | Some t ->
+      Printf.sprintf
+        "{\"type\": \"error\", \"line\": %d, \"trace\": \"%s\", \
+         \"reason\": \"%s\"}\n"
+        line (escape t) (escape reason)
+  | None ->
+      Printf.sprintf
+        "{\"type\": \"error\", \"line\": %d, \"reason\": \"%s\"}\n" line
+        (escape reason)
+
+let summary ~traces ~events ~props ~monitors ~tripped ~retired_admissible
+    ~live ~conn_events ~conn_errors =
+  Printf.sprintf
+    "{\"type\": \"summary\", \"traces\": %d, \"events\": %d, \"props\": \
+     %d, \"monitors\": %d, \"tripped\": %d, \"retired_admissible\": %d, \
+     \"live\": %d, \"conn_events\": %d, \"conn_errors\": %d}\n"
+    traces events props monitors tripped retired_admissible live conn_events
+    conn_errors

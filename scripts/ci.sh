@@ -4,7 +4,7 @@
 # SLC_JOBS=4 so every parallel path runs sharded), run every example
 # program, exercise the CLI (including the observability surface:
 # --metrics / --trace-out, and the -j byte-identity cross-checks), then
-# regenerate the benchmark trajectory JSON (writes BENCH_PR7.json at the
+# regenerate the benchmark trajectory JSON (writes BENCH_PR8.json at the
 # repo root, with ratios against the most recent tracked BENCH_PR*.json).
 # Run from the repository root.
 set -eu
@@ -229,6 +229,148 @@ dune exec bin/slc.exe -- unpack "$pack" > /dev/null 2>&1 || status=$?
 [ "$status" -eq 2 ] || { echo "corrupt pack not rejected"; exit 1; }
 rm -f "$pack"
 rm -rf "$cache_dir"
+
+# Version smoke: the CLI must advertise the artifact kinds it reads.
+echo "--- slc version smoke"
+vout=$(dune exec bin/slc.exe -- version)
+echo "$vout" | grep -q "^slc 1.0.0$"
+echo "$vout" | grep -q "artifact format: sl-artifact/1"
+echo "$vout" | grep -q "dfa(1), buchi(2), digraph(3), pack(4), session(5)"
+echo "$vout" | grep -q "sl-monitor-report/1"
+
+# Serving smoke: the daemon must agree with the offline pipeline.
+# Two concurrent clients split the example stream by trace (per-trace
+# event order is the only order that matters); client A fires SIGHUP
+# mid-stream, so the hot reload lands with traces in flight. The union
+# of the served verdict records, order-normalized, must byte-diff clean
+# against the offline `slc monitor --json` report — at -j 1 and -j 4.
+# The daemon binary is invoked directly (everything is already built;
+# `dune exec` would contend on the build lock with the daemon running).
+echo "--- slc serve smoke"
+SLC=_build/default/bin/slc.exe
+servedir=$(mktemp -d /tmp/slc-ci-serve.XXXXXX)
+sock="$servedir/sl.sock"
+wait_sock() {
+  i=0
+  while [ ! -S "$sock" ]; do
+    i=$((i + 1))
+    [ "$i" -le 100 ] || { echo "daemon never bound $sock"; exit 1; }
+    sleep 0.1
+  done
+}
+# Split the example stream by trace id (per-trace event order is all
+# that matters; the two clients interleave freely).
+awk '$1 == "req-1"' examples/monitor.events > "$servedir/a.events"
+awk '$1 == "req-2"' examples/monitor.events > "$servedir/b.events"
+for j in 1 4; do
+  status=0
+  dune exec bin/slc.exe -- monitor -j "$j" --props examples/monitor.props \
+    --trace examples/monitor.events --json > "$servedir/offline.json" \
+    || status=$?
+  [ "$status" -eq 1 ]
+  python3 scripts/serve_norm.py offline "$servedir/offline.json" \
+    > "$servedir/offline.norm"
+  "$SLC" serve -j "$j" --props examples/monitor.props --socket "$sock" \
+    --quiet 2> "$servedir/serve.log" &
+  daemon=$!
+  wait_sock
+  python3 scripts/serve_client.py "$sock" "$servedir/a.events" \
+    "$servedir/a.out" --hup "$daemon" --at-line 2 &
+  clienta=$!
+  python3 scripts/serve_client.py "$sock" "$servedir/b.events" \
+    "$servedir/b.out" &
+  clientb=$!
+  wait "$clienta"; wait "$clientb"
+  kill -TERM "$daemon"; wait "$daemon" \
+    || { echo "serve -j $j did not shut down cleanly"; exit 1; }
+  python3 scripts/serve_norm.py served "$servedir/a.out" "$servedir/b.out" \
+    > "$servedir/served.norm"
+  diff "$servedir/offline.norm" "$servedir/served.norm" \
+    || { echo "served verdicts differ from offline at -j $j"; exit 1; }
+done
+[ ! -S "$sock" ] || { echo "stale socket left behind"; exit 1; }
+
+# Snapshot-then-restart: SIGTERM writes the session snapshot; a fresh
+# daemon --resume's it, takes the second half of the stream, and its
+# summary counters must equal the uninterrupted run's.
+echo "--- slc serve snapshot/restart smoke"
+nlines=$(wc -l < examples/monitor.events)
+mid=$((nlines / 2))
+head -n "$mid" examples/monitor.events > "$servedir/half1"
+tail -n +"$((mid + 1))" examples/monitor.events > "$servedir/half2"
+"$SLC" serve --props examples/monitor.props --socket "$sock" \
+  --snapshot "$servedir/snap" --quiet 2>> "$servedir/serve.log" &
+daemon=$!
+wait_sock
+python3 scripts/serve_client.py "$sock" "$servedir/half1" "$servedir/h1.out"
+kill -TERM "$daemon"; wait "$daemon" \
+  || { echo "snapshot shutdown failed"; exit 1; }
+[ -s "$servedir/snap" ] || { echo "no snapshot written"; exit 1; }
+"$SLC" serve --props examples/monitor.props --socket "$sock" \
+  --resume "$servedir/snap" --quiet 2>> "$servedir/serve.log" &
+daemon=$!
+wait_sock
+python3 scripts/serve_client.py "$sock" "$servedir/half2" "$servedir/h2.out"
+# Scrape /metrics over the same socket while the daemon is still up.
+printf 'GET /metrics HTTP/1.0\r\n\r\n' \
+  | python3 -c '
+import socket, sys
+s = socket.socket(socket.AF_UNIX); s.settimeout(30)
+s.connect(sys.argv[1]); s.sendall(sys.stdin.buffer.read())
+s.shutdown(socket.SHUT_WR)
+buf = b""
+while True:
+    d = s.recv(1 << 16)
+    if not d: break
+    buf += d
+sys.stdout.write(buf.decode())
+' "$sock" > "$servedir/metrics.out"
+kill -TERM "$daemon"; wait "$daemon" \
+  || { echo "resumed daemon shutdown failed"; exit 1; }
+grep -q "HTTP/1.0 200 OK" "$servedir/metrics.out"
+# engine_events_total counts events fed in THIS process: the resumed
+# daemon stepped only the second half (4 of the 7 events) itself.
+grep -q "^engine_events_total 4$" "$servedir/metrics.out"
+grep -q "^serve_connections_total 2$" "$servedir/metrics.out"
+grep -q "^serve_bytes_in_total" "$servedir/metrics.out"
+# The resumed run's final summary must carry the uninterrupted totals
+# (2 traces, 7 events, 2 tripped / 1 admissible / 1 live monitors).
+grep -q '"type": "summary", "traces": 2, "events": 7, "props": 5, "monitors": 3, "tripped": 2, "retired_admissible": 1, "live": 1' \
+  "$servedir/h2.out" \
+  || { echo "resumed serve summary differs from uninterrupted"; exit 1; }
+
+# Soak: a million events through the socket, byte-equivalent
+# (order-normalized) to the offline monitor — at -j 1 and -j 4.
+echo "--- slc serve soak (1M events)"
+python3 -c '
+import random, sys
+rng = random.Random(20260808)
+with open(sys.argv[1], "w") as f:
+    for _ in range(1_000_000):
+        f.write(f"s{rng.randrange(16)} {rng.randrange(2)}\n")
+' "$servedir/soak.events"
+for j in 1 4; do
+  status=0
+  "$SLC" monitor -j "$j" --props examples/monitor.props \
+    --trace "$servedir/soak.events" --json > "$servedir/soak.json" \
+    || status=$?
+  [ "$status" -le 1 ] || { echo "offline soak run failed"; exit 1; }
+  python3 scripts/serve_norm.py offline "$servedir/soak.json" \
+    > "$servedir/soak-offline.norm"
+  "$SLC" serve -j "$j" --props examples/monitor.props --socket "$sock" \
+    --quiet 2>> "$servedir/serve.log" &
+  daemon=$!
+  wait_sock
+  python3 scripts/serve_client.py "$sock" "$servedir/soak.events" \
+    "$servedir/soak.out"
+  kill -TERM "$daemon"; wait "$daemon" \
+    || { echo "soak daemon shutdown failed"; exit 1; }
+  python3 scripts/serve_norm.py served "$servedir/soak.out" \
+    > "$servedir/soak-served.norm"
+  diff "$servedir/soak-offline.norm" "$servedir/soak-served.norm" \
+    || { echo "soak: served verdicts differ from offline at -j $j"; exit 1; }
+done
+rm -rf "$servedir"
 
 # Bench smoke + perf trajectory.
 dune exec bench/main.exe -- bench json

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Line-protocol client for the `slc serve` CI smoke.
+
+Streams an event file into the daemon's Unix socket, half-closes, and
+writes everything the daemon sends back (NDJSON records) to a file.
+With --hup PID --at-line N it pauses after N lines, sends SIGHUP to the
+daemon, and resumes — the mid-stream hot-reload drill.
+"""
+
+import argparse
+import os
+import signal
+import socket
+import sys
+import time
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("sock")
+    ap.add_argument("events")
+    ap.add_argument("out")
+    ap.add_argument("--hup", type=int, default=0, metavar="PID")
+    ap.add_argument("--at-line", type=int, default=0, metavar="N")
+    args = ap.parse_args()
+
+    with open(args.events, "rb") as f:
+        lines = f.readlines()
+
+    s = socket.socket(socket.AF_UNIX)
+    s.settimeout(120)
+    s.connect(args.sock)
+
+    if args.hup:
+        cut = min(args.at_line, len(lines))
+        s.sendall(b"".join(lines[:cut]))
+        time.sleep(0.3)  # let the daemon drain the first half
+        os.kill(args.hup, signal.SIGHUP)
+        time.sleep(0.5)  # and commit the reload between loop rounds
+        s.sendall(b"".join(lines[cut:]))
+    else:
+        s.sendall(b"".join(lines))
+    s.shutdown(socket.SHUT_WR)
+
+    buf = b""
+    while True:
+        d = s.recv(1 << 16)
+        if not d:
+            break
+        buf += d
+    s.close()
+
+    with open(args.out, "wb") as f:
+        f.write(buf)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

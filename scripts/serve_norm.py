@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Normalize verdicts to a canonical line set, for byte-diffing the
+served NDJSON stream against the offline `slc monitor --json` report.
+
+  serve_norm.py served FILE...   union of the NDJSON streams' verdict
+                                 records as sorted `trace|prop|verdict|pos`
+                                 lines (incremental records and the EOF
+                                 dump collapse into one tuple each)
+  serve_norm.py offline FILE     the JSON report's verdict table in the
+                                 same normal form
+
+Two runs are verdict-equivalent iff the outputs are byte-identical.
+"""
+
+import json
+import sys
+
+
+def tup(trace, prop, verdict, position):
+    return f"{trace}|{prop}|{verdict}|{position}"
+
+
+def served(paths):
+    out = set()
+    for path in paths:
+        with open(path) as f:
+            for line in f:
+                line = line.strip()
+                if not line or not line.startswith("{"):
+                    continue
+                rec = json.loads(line)
+                if rec.get("type") != "verdict":
+                    continue
+                out.add(
+                    tup(rec["trace"], rec["prop"], rec["verdict"],
+                        rec.get("position", -1))
+                )
+    return out
+
+
+def offline(path):
+    with open(path) as f:
+        rep = json.loads(f.read())
+    out = set()
+    for tr in rep["traces"]:
+        for v in tr["verdicts"]:
+            out.add(
+                tup(tr["name"], v["prop"], v["verdict"],
+                    v.get("position", -1))
+            )
+    return out
+
+
+def main():
+    mode = sys.argv[1]
+    if mode == "served":
+        tuples = served(sys.argv[2:])
+    elif mode == "offline":
+        tuples = offline(sys.argv[2])
+    else:
+        print(f"unknown mode {mode}", file=sys.stderr)
+        return 2
+    for t in sorted(tuples):
+        print(t)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

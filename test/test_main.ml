@@ -20,6 +20,7 @@ let () =
       ("runtime", Test_runtime.tests);
       ("cache", Test_cache.tests);
       ("session", Test_session.tests);
+      ("serve", Test_serve.tests);
       ("obs", Test_obs.tests);
       ("acceptance", Test_acceptance.tests);
       ("properties", Test_properties.tests);

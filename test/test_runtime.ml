@@ -244,7 +244,9 @@ let drive_ingest ?(chunk_size = 3) ~alphabet lines =
       for k = 0 to c.Ingest.len - 1 do
         events := (c.Ingest.trace_ids.(k), c.Ingest.symbols.(k)) :: !events
       done)
-    ~on_error:(fun ~line msg -> errors := (line, msg) :: !errors);
+    ~on_error:(fun e ->
+      errors := (e.Ingest.e_line, e.Ingest.e_trace, e.Ingest.e_reason)
+                :: !errors);
   (ing, List.rev !events, List.rev !errors)
 
 let test_ingest_chunks () =
@@ -260,7 +262,14 @@ let test_ingest_chunks () =
     "events in order, ids dense"
     [ (0, 0); (1, 1); (0, 1); (1, 0); (0, 0) ]
     events;
-  Alcotest.(check (list int)) "error lines" [ 6; 7 ] (List.map fst errors)
+  Alcotest.(check (list int)) "error lines" [ 6; 7 ]
+    (List.map (fun (l, _, _) -> l) errors);
+  (* structured records carry the trace id where one was recognizable:
+     "bad" is a lone field (its token is the would-be trace id), "a 9"
+     is an out-of-alphabet symbol on trace a *)
+  Alcotest.(check (list (option string)))
+    "error trace ids" [ Some "bad"; Some "a" ]
+    (List.map (fun (_, t, _) -> t) errors)
 
 (* --- End to end: ingestion -> engine -> verdict report --- *)
 
@@ -287,7 +296,8 @@ let test_end_to_end_report () =
       ~on_chunk:(fun c ->
         Engine.feed eng ~n:c.Ingest.len ~traces:c.Ingest.trace_ids
           ~symbols:c.Ingest.symbols ())
-      ~on_error:(fun ~line msg -> errors := (line, msg) :: !errors);
+      ~on_error:(fun e -> errors := (e.Ingest.e_line, e.Ingest.e_reason)
+                                    :: !errors);
     (ing, (), !errors)
   in
   check_int "no trace errors" 0 (List.length ingest_errors);

@@ -435,7 +435,7 @@ let test_ingest_chunk_boundary () =
     ~on_chunk:(fun c ->
       chunk_sizes := c.Ingest.len :: !chunk_sizes;
       events := !events + c.Ingest.len)
-    ~on_error:(fun ~line _ -> errors := line :: !errors);
+    ~on_error:(fun e -> errors := e.Ingest.e_line :: !errors);
   check "malformed lines reported with exact line numbers" true
     (List.rev !errors = malformed);
   check_int "every well-formed line became an event" (total - 3) !events;
@@ -459,7 +459,7 @@ let test_interner_roundtrip_through_codec () =
     ~on_chunk:(fun c ->
       Engine.feed (Session.engine s) ~n:c.Ingest.len ~traces:c.Ingest.trace_ids
         ~symbols:c.Ingest.symbols ())
-    ~on_error:(fun ~line:_ _ -> Alcotest.fail "unexpected ingest error");
+    ~on_error:(fun _ -> Alcotest.fail "unexpected ingest error");
   match Session.of_artifact ~jobs:1 ~registry (Session.to_artifact s) with
   | Error e -> Alcotest.fail (Session.restore_error_to_string e)
   | Ok s' ->
