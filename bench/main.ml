@@ -4,7 +4,7 @@
      dune exec bench/main.exe              # all artifacts + all timings
      dune exec bench/main.exe ARTIFACT     # one artifact, no timings
      dune exec bench/main.exe bench        # timings only
-     dune exec bench/main.exe bench json   # timings -> BENCH_PR8.json
+     dune exec bench/main.exe bench json   # timings -> BENCH_PR9.json
 
    Artifacts (the paper's figures/tables, regenerated from scratch; see
    EXPERIMENTS.md for the mapping): fig1 fig2 rem ctl rabin
@@ -25,7 +25,7 @@
    path (parse + intern + feed + render, no sockets) at 1 and 4
    multiplexed clients and both hot-reload commit paths.
 
-   [bench json] additionally writes the estimates to BENCH_PR8.json
+   [bench json] additionally writes the estimates to BENCH_PR9.json
    together with automaton-size counters, speedups against the seed,
    ratios against the most recent tracked BENCH_PR*.json for every bench
    name the two runs share, the parallel scaling curves, the cold/warm
@@ -257,6 +257,16 @@ let complement_input = Lexamples.automaton (Formula.parse_exn "F a")
    global flag check — which must stay within noise of a bare loop. *)
 let obs_probe_counter = Sl_obs.Obs.Metrics.counter "bench_obs_probe_total"
 
+(* OBS-LABELS fixtures: a labeled family next to the flat probe — a
+   child handle is supposed to cost exactly a flat record, and the
+   bench pair pins that — plus the interning lookup the chunk epilogues
+   pay once per child, not per event. *)
+let obs_probe_vec =
+  Sl_obs.Obs.Metrics.counter_vec "bench_obs_probe_labeled_total"
+    ~labels:[ "monitor" ]
+
+let obs_probe_child = Sl_obs.Obs.Metrics.counter_child obs_probe_vec [ "m0" ]
+
 (* CACHE fixtures: the same 100-property fleet compiled through the
    warm-start cache. The cold series empties its directory before every
    run, so each run pays full translate + minimize + pack + store; the
@@ -359,6 +369,20 @@ let serve_slices_by_conn =
                (Array.to_list (Array.sub mine lo (max 0 (hi - lo)))))))
 
 let serve_daemon_fresh () = Sl_serve.Daemon.make (session_fresh ())
+
+(* INTROSPECT fixture: a daemon that has digested the whole 10k-event
+   stream through one connection, wired to an introspection instance —
+   what a /status or /monitors scrape renders mid-soak. *)
+let serve_introspect_fixture =
+  lazy
+    (let d = serve_daemon_fresh () in
+     let c = Sl_serve.Conn.create d in
+     Sl_serve.Conn.on_bytes c (Lazy.force serve_blob_all);
+     ignore (Sl_serve.Conn.drain_output c);
+     let intro = Sl_serve.Introspect.create ~version:"bench" d in
+     Sl_serve.Introspect.set_conns intro (fun () ->
+         [ Sl_serve.Introspect.conn_info_of_conn c ]);
+     intro)
 
 (* A registry one property richer than the fleet (same alphabet): the
    keyed carry-over path of a hot reload, as opposed to the
@@ -698,7 +722,43 @@ let make_tests () =
                  ~registry:reload_registry ()
              with
              | Ok (_, carried) -> carried
-             | Error e -> failwith ("bench reload refused: " ^ e)) ]);
+             | Error e -> failwith ("bench reload refused: " ^ e));
+         (* The obs-enabled counterpart of conn-feed-10k-1conn: the same
+            stream with the kernel collecting, so the gap to the dark
+            series is the full serving-path telemetry overhead (chunk
+            epilogues, stage histograms, labeled flushes). *)
+         t "serve/conn-feed-10k-1conn-obs" (fun () ->
+             Sl_obs.Obs.enable ();
+             let d = serve_daemon_fresh () in
+             let c = Sl_serve.Conn.create d in
+             Sl_serve.Conn.on_bytes c blob;
+             Sl_serve.Conn.on_eof c;
+             ignore (Sl_serve.Conn.drain_output c);
+             Sl_obs.Obs.disable ()) ]);
+      (* OBS-LABELS: enabled-mode recording cost, flat vs labeled child
+         (amortized over 1k bumps so the enable/disable bracket is
+         noise); the interning lookup the epilogues pay per child; and
+         what one introspection scrape renders against the digested
+         10k-event daemon. *)
+      (let intro = Lazy.force serve_introspect_fixture in
+       [ t "obs/counter-incr-enabled-x1k" (fun () ->
+             Sl_obs.Obs.enable ();
+             for _ = 1 to 1000 do
+               Sl_obs.Obs.Metrics.incr obs_probe_counter
+             done;
+             Sl_obs.Obs.disable ());
+         t "obs/labeled-incr-enabled-x1k" (fun () ->
+             Sl_obs.Obs.enable ();
+             for _ = 1 to 1000 do
+               Sl_obs.Obs.Metrics.incr obs_probe_child
+             done;
+             Sl_obs.Obs.disable ());
+         t "obs/vec-child-lookup" (fun () ->
+             Sl_obs.Obs.Metrics.counter_child obs_probe_vec [ "m0" ]);
+         t "obs/status-render" (fun () ->
+             Sl_serve.Introspect.handler intro "/status");
+         t "obs/monitors-render" (fun () ->
+             Sl_serve.Introspect.handler intro "/monitors") ]);
       (* Structural hierarchy classification. *)
       [ t "hierarchy/classify-128" (fun () ->
             Sl_buchi.Hierarchy.classify_structural (random_automaton 128)) ];
@@ -880,7 +940,7 @@ let read_prev_results path =
    still gets a baseline instead of an empty section. The chosen file is
    recorded in the output as "baseline_file" (null when none found). *)
 let baseline_chain =
-  [ "BENCH_PR7.json"; "BENCH_PR6.json"; "BENCH_PR5.json"; "BENCH_PR4.json";
+  [ "BENCH_PR8.json"; "BENCH_PR7.json"; "BENCH_PR6.json"; "BENCH_PR5.json"; "BENCH_PR4.json";
     "BENCH_PR3.json"; "BENCH_PR2.json"; "BENCH_PR1.json" ]
 
 let read_baseline () =
@@ -988,7 +1048,7 @@ let run_benchmarks_json ~path =
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
   p "  \"schema\": \"sl-bench-trajectory/1\",\n";
-  p "  \"pr\": \"PR8\",\n";
+  p "  \"pr\": \"PR9\",\n";
   p "  \"config\": {\"quota_s\": 0.25, \"limit\": 1000, \"estimator\": \"ols\"},\n";
   p "  \"cores\": %d,\n" (Domain.recommended_domain_count ());
   p "  \"results\": [\n";
@@ -1023,7 +1083,7 @@ let run_benchmarks_json ~path =
     (match baseline with
     | Some (path, _) -> Printf.sprintf "\"%s\"" (json_escape path)
     | None -> "null");
-  p "  \"speedups_vs_pr7\": [\n";
+  p "  \"speedups_vs_pr8\": [\n";
   List.iteri
     (fun i (name, ns, base, ratio) ->
       p
@@ -1093,6 +1153,31 @@ let run_benchmarks_json ~path =
      \"reload_identical_ns\": %s, \"reload_carryover_ns\": %s},\n"
     (num serve1) (num serve4) (events_per_s serve1) (events_per_s serve4)
     (num reload_id) (num reload_co);
+  (* The introspection layer: labeled-vs-flat recording (the child
+     handle is supposed to be free), the per-child interning lookup,
+     what a scrape renders, and the full obs-on serving overhead as a
+     ratio over the dark 1-conn feed. *)
+  let flat1k = lookup "obs/counter-incr-enabled-x1k" in
+  let labeled1k = lookup "obs/labeled-incr-enabled-x1k" in
+  let child_lookup = lookup "obs/vec-child-lookup" in
+  let status_render = lookup "obs/status-render" in
+  let monitors_render = lookup "obs/monitors-render" in
+  let serve1_obs = lookup "serve/conn-feed-10k-1conn-obs" in
+  let ratio a b =
+    match (a, b) with
+    | Some x, Some y when y > 0.0 -> Printf.sprintf "%.3f" (x /. y)
+    | _ -> "null"
+  in
+  p "  \"obs_labels\": {\"flat_incr_x1k_ns\": %s, \
+     \"labeled_incr_x1k_ns\": %s, \"labeled_over_flat\": %s, \
+     \"child_lookup_ns\": %s, \"status_render_ns\": %s, \
+     \"monitors_render_ns\": %s, \"conn_feed_10k_obs_ns\": %s, \
+     \"obs_on_over_dark\": %s},\n"
+    (num flat1k) (num labeled1k)
+    (ratio labeled1k flat1k)
+    (num child_lookup) (num status_render) (num monitors_render)
+    (num serve1_obs)
+    (ratio serve1_obs serve1);
   let spans = span_summaries () in
   p "  \"span_summaries\": [\n";
   List.iteri
@@ -1119,7 +1204,7 @@ let () =
       List.iter (fun (_, f) -> f ()) artifacts;
       run_benchmarks ()
   | [ "bench" ] -> run_benchmarks ()
-  | [ "bench"; "json" ] -> run_benchmarks_json ~path:"BENCH_PR8.json"
+  | [ "bench"; "json" ] -> run_benchmarks_json ~path:"BENCH_PR9.json"
   | [ "bench"; "json"; path ] -> run_benchmarks_json ~path
   | names ->
       List.iter

@@ -788,6 +788,220 @@ let serve_cmd =
          $ props_arg $ socket_arg $ port_arg $ snapshot_arg $ resume_arg
          $ max_line_arg $ hwm_arg $ quiet_arg))
 
+(* slc top: poll the daemon's /status endpoint over the same socket the
+   clients stream on and render a refreshing dashboard (or emit the raw
+   sl-status/1 JSON with --once --json for scripting). *)
+let top_cmd =
+  let module J = Sl_serve.Jsonv in
+  let http_get ~socket ~port path =
+    let fd, addr =
+      match (socket, port) with
+      | Some p, _ ->
+          (Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0, Unix.ADDR_UNIX p)
+      | None, Some p ->
+          ( Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0,
+            Unix.ADDR_INET (Unix.inet_addr_loopback, p) )
+      | None, None -> failwith "need --socket or --port"
+    in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        Unix.connect fd addr;
+        let req = "GET " ^ path ^ " HTTP/1.0\r\n\r\n" in
+        ignore (Unix.write_substring fd req 0 (String.length req));
+        let buf = Buffer.create 4096 in
+        let bytes = Bytes.create 65536 in
+        let rec drain () =
+          match Unix.read fd bytes 0 (Bytes.length bytes) with
+          | 0 -> ()
+          | n ->
+              Buffer.add_subbytes buf bytes 0 n;
+              drain ()
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> drain ()
+        in
+        drain ();
+        let reply = Buffer.contents buf in
+        (* split header/body at the first blank line *)
+        let sep = "\r\n\r\n" in
+        let rec find i =
+          if i + String.length sep > String.length reply then
+            failwith "malformed HTTP reply"
+          else if String.sub reply i (String.length sep) = sep then i
+          else find (i + 1)
+        in
+        let i = find 0 in
+        let header = String.sub reply 0 i in
+        let body =
+          String.sub reply
+            (i + String.length sep)
+            (String.length reply - i - String.length sep)
+        in
+        match String.split_on_char ' ' header with
+        | _ :: "200" :: _ -> body
+        | _ :: code :: _ -> failwith ("HTTP " ^ code)
+        | _ -> failwith "malformed HTTP status line")
+  in
+  let mem path v = J.member path v in
+  let jint k v = Option.bind (mem k v) J.int_ |> Option.value ~default:0 in
+  let jnum k v = Option.bind (mem k v) J.num |> Option.value ~default:0. in
+  let jstr k v = Option.bind (mem k v) J.str |> Option.value ~default:"" in
+  let jbool k v = Option.bind (mem k v) J.bool_ |> Option.value ~default:false in
+  let jarr k v = Option.bind (mem k v) J.arr |> Option.value ~default:[] in
+  let render ~target status monitors ~rate =
+    let b = Buffer.create 2048 in
+    let p fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+    p "slc top — %s    uptime %.1fs    fingerprint %s\n" target
+      (jnum "uptime_s" status)
+      (jstr "fingerprint" status);
+    let cache = Option.value ~default:J.Null (mem "cache" status) in
+    p "props %d   monitors %d   jobs %d   cache hit %.1f%% (%d/%d)\n"
+      (jint "props" status) (jint "monitors" status) (jint "jobs" status)
+      (100. *. jnum "hit_ratio" cache)
+      (jint "hits" cache)
+      (jint "hits" cache + jint "misses" cache);
+    p "events %d (%+.0f/s)   traces %d   live %d   tripped %d   retired %d\n"
+      (jint "events" status) rate (jint "traces" status) (jint "live" status)
+      (jint "tripped" status)
+      (jint "retired_admissible" status);
+    let reloads = Option.value ~default:J.Null (mem "reloads" status) in
+    p "reloads %d (%d failed)   spans dropped %d\n" (jint "count" reloads)
+      (jint "failures" reloads)
+      (jint "spans_dropped" (Option.value ~default:J.Null (mem "obs" status)));
+    let conns = jarr "connections" status in
+    p "\nconnections (%d):\n" (List.length conns);
+    p "  %4s %-8s %-5s %9s %9s %6s %9s %s\n" "ID" "LISTENER" "MODE" "LINES"
+      "EVENTS" "ERRORS" "PENDING" "STALL";
+    List.iteri
+      (fun i c ->
+        if i < 20 then
+          p "  %4d %-8s %-5s %9d %9d %6d %9d %s\n" (jint "id" c)
+            (jstr "listener" c) (jstr "mode" c) (jint "lines" c)
+            (jint "events" c) (jint "errors" c) (jint "pending_out" c)
+            (if jbool "stalled" c then "yes" else "-"))
+      conns;
+    (match monitors with
+    | None -> ()
+    | Some mons ->
+        let rows = jarr "monitors" mons in
+        let rows =
+          List.sort
+            (fun a b -> compare (jint "tripped" b) (jint "tripped" a))
+            rows
+        in
+        p "\nmonitors (%d, by tripped):\n" (List.length rows);
+        p "  %5s %-16s %6s %7s %7s %-9s %s\n" "INDEX" "KEY" "LIVE" "TRIP"
+          "RETIRE" "KIND" "PROPS";
+        List.iteri
+          (fun i m ->
+            if i < 20 then begin
+              let props =
+                jarr "props" m |> List.filter_map J.str |> String.concat ","
+              in
+              let kind =
+                if jbool "vacuous" m then "vacuous"
+                else if jbool "pre_tripped" m then "pretripped"
+                else "monitored"
+              in
+              p "  %5d %-16s %6d %7d %7d %-9s %s\n" (jint "index" m)
+                (jstr "key" m) (jint "live" m) (jint "tripped" m)
+                (jint "retired_admissible" m) kind props
+            end)
+          rows);
+    Buffer.contents b
+  in
+  let socket_arg =
+    let doc = "Poll the daemon over the Unix-domain socket at $(docv)." in
+    Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+  in
+  let port_arg =
+    let doc = "Poll the daemon over TCP 127.0.0.1:$(docv)." in
+    Arg.(value & opt (some int) None & info [ "port" ] ~docv:"PORT" ~doc)
+  in
+  let interval_arg =
+    let doc = "Refresh interval in seconds." in
+    Arg.(value & opt float 2.0 & info [ "i"; "interval" ] ~docv:"SECONDS" ~doc)
+  in
+  let once_arg =
+    let doc = "Render a single snapshot and exit (no screen clearing)." in
+    Arg.(value & flag & info [ "once" ] ~doc)
+  in
+  let json_arg =
+    let doc =
+      "With $(b,--once): print the raw sl-status/1 JSON of /status instead \
+       of the dashboard."
+    in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let run socket port interval once json =
+    if socket = None && port = None then begin
+      prerr_endline "slc top: need --socket PATH or --port PORT";
+      2
+    end
+    else begin
+      let target =
+        match (socket, port) with
+        | Some p, _ -> p
+        | None, Some p -> Printf.sprintf "127.0.0.1:%d" p
+        | None, None -> assert false
+      in
+      let fetch path = http_get ~socket ~port path in
+      let parse body =
+        match J.parse body with
+        | Ok v -> v
+        | Error e -> failwith ("bad JSON from daemon: " ^ e)
+      in
+      try
+        if once && json then begin
+          print_string (fetch "/status");
+          0
+        end
+        else if once then begin
+          let status = parse (fetch "/status") in
+          let monitors = parse (fetch "/monitors") in
+          print_string (render ~target status (Some monitors) ~rate:0.);
+          0
+        end
+        else begin
+          let last = ref None in
+          while true do
+            let status = parse (fetch "/status") in
+            let monitors = parse (fetch "/monitors") in
+            let events = jint "events" status in
+            let rate =
+              match !last with
+              | Some prev when interval > 0. ->
+                  float_of_int (events - prev) /. interval
+              | _ -> 0.
+            in
+            last := Some events;
+            (* clear screen, home cursor *)
+            print_string "\027[2J\027[H";
+            print_string (render ~target status (Some monitors) ~rate);
+            flush stdout;
+            Unix.sleepf interval
+          done;
+          0
+        end
+      with
+      | Failure msg ->
+          prerr_endline ("slc top: " ^ msg);
+          1
+      | Unix.Unix_error (e, _, _) ->
+          prerr_endline
+            (Printf.sprintf "slc top: cannot reach %s: %s" target
+               (Unix.error_message e));
+          1
+    end
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live dashboard over a running slc serve: polls GET /status and \
+          GET /monitors (sl-status/1) and renders uptime, throughput, the \
+          connection table and per-monitor verdict counts")
+    Term.(
+      const run $ socket_arg $ port_arg $ interval_arg $ once_arg $ json_arg)
+
 let version_cmd =
   let module Wire = Sl_core.Wire in
   let run () =
@@ -801,6 +1015,7 @@ let version_cmd =
               ("digraph", Wire.kind_digraph); ("pack", Wire.kind_pack);
               ("session", Wire.kind_session) ]));
     Format.printf "report schema: sl-monitor-report/1@.";
+    Format.printf "status schema: sl-status/1@.";
     0
   in
   Cmd.v
@@ -817,6 +1032,6 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ classify_cmd; decompose_cmd; stats_cmd; rem_cmd; ctl_cmd;
-            dot_cmd; theorems_cmd; monitor_cmd; serve_cmd; pack_cmd;
-            unpack_cmd; complement_cmd; regex_cmd; modelcheck_cmd;
-            version_cmd ]))
+            dot_cmd; theorems_cmd; monitor_cmd; serve_cmd; top_cmd;
+            pack_cmd; unpack_cmd; complement_cmd; regex_cmd;
+            modelcheck_cmd; version_cmd ]))

@@ -1,5 +1,19 @@
 type t = { jobs : int }
 
+(* Always-on scheduling counters: a multi-domain pool silently running
+   everything sequentially (thresholds, tiny inputs) is invisible from
+   timings alone, so the decision itself is recorded — even with the
+   obs kernel dark. One atomic bump per region, never per element. *)
+let m_tasks =
+  Sl_obs.Obs.Metrics.counter ~help:"Parallel regions run on worker domains"
+    "pool_tasks_total"
+
+let m_seq_fallback =
+  Sl_obs.Obs.Metrics.counter
+    ~help:"Regions on a multi-domain pool that fell back to the \
+           sequential loop (work-size threshold or degenerate size)"
+    "pool_seq_fallback_total"
+
 let parse_jobs s =
   match int_of_string_opt (String.trim s) with
   | Some j when j >= 1 -> Some j
@@ -97,23 +111,28 @@ let parallel_for ?chunk ?threshold pool ~n f =
   | _ -> ());
   let threshold = check_threshold "Pool.parallel_for" threshold in
   if n > 0 then begin
-    if pool.jobs = 1 || n = 1 || n < threshold then
+    if pool.jobs = 1 || n = 1 || n < threshold then begin
+      if pool.jobs > 1 then Sl_obs.Obs.Metrics.incr_always m_seq_fallback;
       for i = 0 to n - 1 do
         f i
       done
-    else
+    end
+    else begin
+      Sl_obs.Obs.Metrics.incr_always m_tasks;
       let chunk =
         match chunk with
         | Some c -> c
         | None -> default_chunk ~jobs:pool.jobs n
       in
       run_region ~jobs:pool.jobs ~chunk ~n f
+    end
   end
 
 let map_reduce ?chunk ?threshold pool ~n ~map ~reduce init =
   let threshold = check_threshold "Pool.map_reduce" threshold in
   if n <= 0 then init
   else if pool.jobs = 1 || n = 1 || n < threshold then begin
+    if pool.jobs > 1 then Sl_obs.Obs.Metrics.incr_always m_seq_fallback;
     let acc = ref init in
     for i = 0 to n - 1 do
       acc := reduce !acc (map i)

@@ -90,7 +90,23 @@ module Metrics = struct
 
   type kind = Kcounter | Kgauge | Khistogram
 
-  type meta = { mname : string; kind : kind; index : int }
+  (* A family groups every sample sharing one metric name. Flat metrics
+     are single-sample families with no labels; vecs carry a fixed label
+     name list and grow one child per distinct label-value tuple. The
+     child handles are the same plain ints as flat handles, so
+     recording into a labeled series costs exactly a flat record. *)
+  type family = {
+    fname : string;
+    fkind : kind;
+    mutable fhelp : string;
+    flabels : string list;
+    mutable samples : (string list * int) list; (* reversed creation order *)
+    children : (string, int) Hashtbl.t; (* joined label values -> index *)
+  }
+
+  type counter_vec = family
+  type gauge_vec = family
+  type histogram_vec = family
 
   (* Log-2 bucketing: bucket 0 holds samples <= 0, bucket i >= 1 holds
      [2^(i-1), 2^i - 1]. With 63-bit ints, [nbuckets - 1] = 62 already
@@ -102,12 +118,14 @@ module Metrics = struct
 
   (* Cells are individual [int Atomic.t]s so bumps from pool worker
      domains neither tear nor lose increments. Registration (which may
-     swap the backing array) happens at module-initialization time on
-     the main domain, before any parallel region can be running — the
-     handles module initializers create are plain ints, so the arrays
-     are only read behind them afterwards. *)
-  let registry : (string, meta) Hashtbl.t = Hashtbl.create 64
-  let order : meta list ref = ref [] (* reversed registration order *)
+     swap the backing array) happens on the main domain outside any
+     parallel region — module-initialization time for flat metrics and
+     vec families, chunk epilogues / connection setup for vec children
+     (regions are synchronous, so no worker is running then) — and the
+     handles it returns are plain ints, so the arrays are only read
+     behind them afterwards. *)
+  let registry : (string, family) Hashtbl.t = Hashtbl.create 64
+  let order : family list ref = ref [] (* reversed registration order *)
   let acell _ = Atomic.make 0
   let cells = ref (Array.init 64 acell)
   let ncells = ref 0
@@ -130,40 +148,93 @@ module Metrics = struct
       a := fresh
     end
 
-  let register name kind =
+  let alloc_index = function
+    | Kcounter | Kgauge ->
+        let i = !ncells in
+        grow cells (i + 1);
+        Atomic.set !cells.(i) 0;
+        ncells := i + 1;
+        i
+    | Khistogram ->
+        let base = !nhist * hslots in
+        grow hcells (base + hslots);
+        for i = base to base + hslots - 1 do
+          Atomic.set !hcells.(i) 0
+        done;
+        incr nhist;
+        base
+
+  let family ?(help = "") ~labels name kind =
     match Hashtbl.find_opt registry name with
-    | Some m ->
-        if m.kind <> kind then
+    | Some f ->
+        if f.fkind <> kind then
           invalid_arg
             (Printf.sprintf "Obs.Metrics: %s already registered as a %s" name
-               (kind_name m.kind));
-        m.index
+               (kind_name f.fkind));
+        if f.flabels <> labels then
+          invalid_arg
+            (Printf.sprintf
+               "Obs.Metrics: %s already registered with labels (%s)" name
+               (String.concat ", " f.flabels));
+        if f.fhelp = "" then f.fhelp <- help;
+        f
     | None ->
-        let index =
-          match kind with
-          | Kcounter | Kgauge ->
-              let i = !ncells in
-              grow cells (i + 1);
-              Atomic.set !cells.(i) 0;
-              ncells := i + 1;
-              i
-          | Khistogram ->
-              let base = !nhist * hslots in
-              grow hcells (base + hslots);
-              for i = base to base + hslots - 1 do
-                Atomic.set !hcells.(i) 0
-              done;
-              incr nhist;
-              base
+        let f =
+          { fname = name; fkind = kind; fhelp = help; flabels = labels;
+            samples = []; children = Hashtbl.create 4 }
         in
-        let m = { mname = name; kind; index } in
-        Hashtbl.add registry name m;
-        order := m :: !order;
-        index
+        Hashtbl.add registry name f;
+        order := f :: !order;
+        f
 
-  let counter name : counter = register name Kcounter
-  let gauge name : gauge = register name Kgauge
-  let histogram name : histogram = register name Khistogram
+  let flat ?help name kind =
+    let f = family ?help ~labels:[] name kind in
+    match f.samples with
+    | (_, i) :: _ -> i
+    | [] ->
+        let i = alloc_index kind in
+        f.samples <- [ ([], i) ];
+        i
+
+  let counter ?help name : counter = flat ?help name Kcounter
+  let gauge ?help name : gauge = flat ?help name Kgauge
+  let histogram ?help name : histogram = flat ?help name Khistogram
+
+  let vec ?help name ~labels kind =
+    if labels = [] then
+      invalid_arg ("Obs.Metrics: vec " ^ name ^ " needs at least one label");
+    family ?help ~labels name kind
+
+  let counter_vec ?help name ~labels : counter_vec =
+    vec ?help name ~labels Kcounter
+
+  let gauge_vec ?help name ~labels : gauge_vec = vec ?help name ~labels Kgauge
+
+  let histogram_vec ?help name ~labels : histogram_vec =
+    vec ?help name ~labels Khistogram
+
+  (* Child interning: one cell block per distinct label-value tuple,
+     created on first use (idempotent — the joined values are the key).
+     Like registration, child creation belongs on the main domain
+     outside parallel regions; the call sites (chunk epilogues,
+     connection setup) satisfy that by construction. *)
+  let child (f : family) values : int =
+    if List.length values <> List.length f.flabels then
+      invalid_arg
+        (Printf.sprintf "Obs.Metrics: %s takes %d label values" f.fname
+           (List.length f.flabels));
+    let key = String.concat "\x00" values in
+    match Hashtbl.find_opt f.children key with
+    | Some i -> i
+    | None ->
+        let i = alloc_index f.fkind in
+        Hashtbl.replace f.children key i;
+        f.samples <- (values, i) :: f.samples;
+        i
+
+  let counter_child : counter_vec -> string list -> counter = child
+  let gauge_child : gauge_vec -> string list -> gauge = child
+  let histogram_child : histogram_vec -> string list -> histogram = child
 
   (* The recording fast path: one flag check, then one atomic
      read-modify-write on the cell (indices are valid by construction
@@ -178,6 +249,16 @@ module Metrics = struct
 
   let set (g : gauge) v =
     if Atomic.get on then Atomic.set (Array.unsafe_get !cells g) v
+
+  (* Always-on recording, skipping the enabled check: for counters that
+     make telemetry loss itself observable (span-ring drops, pool
+     scheduling) — a dark kernel would otherwise hide exactly the
+     events one scrapes /metrics to find. Callers keep these off hot
+     per-event paths; the cost is one atomic RMW per call. *)
+  let incr_always (c : counter) = Atomic.incr (Array.unsafe_get !cells c)
+
+  let add_always (c : counter) v =
+    ignore (Atomic.fetch_and_add (Array.unsafe_get !cells c) v)
 
   let bucket_of v =
     if v <= 0 then 0
@@ -225,42 +306,92 @@ module Metrics = struct
     in
     finite @ [ (None, !cum) ]
 
+  (* Flat lookup by name: families with labels have no unlabeled
+     sample, so they report [None] here (use the child handle). *)
   let find name kinds =
     match Hashtbl.find_opt registry name with
-    | Some m when List.mem m.kind kinds -> Some m
+    | Some f when List.mem f.fkind kinds && f.flabels = [] -> (
+        match f.samples with (_, i) :: _ -> Some i | [] -> None)
     | _ -> None
 
   let value name =
-    Option.map
-      (fun m -> Atomic.get !cells.(m.index))
-      (find name [ Kcounter; Kgauge ])
+    Option.map (fun i -> Atomic.get !cells.(i)) (find name [ Kcounter; Kgauge ])
 
   let histogram_stats name =
     Option.map
-      (fun m -> (histogram_count m.index, histogram_sum m.index))
+      (fun i -> (histogram_count i, histogram_sum i))
       (find name [ Khistogram ])
 
   let registered () = List.rev !order
 
-  let names () = List.map (fun m -> m.mname) (registered ())
+  let names () = List.map (fun f -> f.fname) (registered ())
+
+  (* Text-format escaping per the Prometheus exposition spec: label
+     values escape backslash, double-quote and newline; HELP text
+     escapes backslash and newline only. *)
+  let escape_label s =
+    let buf = Buffer.create (String.length s) in
+    String.iter
+      (fun c ->
+        match c with
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\n' -> Buffer.add_string buf "\\n"
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+
+  let escape_help s =
+    let buf = Buffer.create (String.length s) in
+    String.iter
+      (fun c ->
+        match c with
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+
+  (* Rendered label set: [{k="v",...}], or "" for flat samples. [extra]
+     carries pre-rendered pairs (the histogram [le] bound). *)
+  let labels_str lnames lvals extra =
+    let pairs =
+      List.map2 (fun k v -> k ^ "=\"" ^ escape_label v ^ "\"") lnames lvals
+      @ extra
+    in
+    match pairs with
+    | [] -> ""
+    | ps -> "{" ^ String.concat "," ps ^ "}"
 
   let to_prometheus () =
     let buf = Buffer.create 1024 in
     let p fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
     List.iter
-      (fun m ->
-        p "# TYPE %s %s\n" m.mname (kind_name m.kind);
-        match m.kind with
-        | Kcounter | Kgauge -> p "%s %d\n" m.mname (Atomic.get !cells.(m.index))
-        | Khistogram ->
-            List.iter
-              (fun (ub, cum) ->
-                match ub with
-                | Some ub -> p "%s_bucket{le=\"%d\"} %d\n" m.mname ub cum
-                | None -> p "%s_bucket{le=\"+Inf\"} %d\n" m.mname cum)
-              (histogram_buckets m.index);
-            p "%s_sum %d\n" m.mname (histogram_sum m.index);
-            p "%s_count %d\n" m.mname (histogram_count m.index))
+      (fun f ->
+        let help = if f.fhelp = "" then f.fname else f.fhelp in
+        p "# HELP %s %s\n" f.fname (escape_help help);
+        p "# TYPE %s %s\n" f.fname (kind_name f.fkind);
+        List.iter
+          (fun (lvals, idx) ->
+            let ls extra = labels_str f.flabels lvals extra in
+            match f.fkind with
+            | Kcounter | Kgauge ->
+                p "%s%s %d\n" f.fname (ls []) (Atomic.get !cells.(idx))
+            | Khistogram ->
+                List.iter
+                  (fun (ub, cum) ->
+                    let le =
+                      match ub with
+                      | Some ub -> string_of_int ub
+                      | None -> "+Inf"
+                    in
+                    p "%s_bucket%s %d\n" f.fname
+                      (ls [ "le=\"" ^ le ^ "\"" ])
+                      cum)
+                  (histogram_buckets idx);
+                p "%s_sum%s %d\n" f.fname (ls []) (histogram_sum idx);
+                p "%s_count%s %d\n" f.fname (ls []) (histogram_count idx))
+          (List.rev f.samples))
       (registered ());
     Buffer.contents buf
 
@@ -328,6 +459,13 @@ module Span = struct
   let ring_len = ref 0
   let dropped_count = ref 0
 
+  (* Always-on: a full ring silently forgetting spans is precisely the
+     kind of loss an operator needs to see on /metrics. *)
+  let m_dropped =
+    Metrics.counter
+      ~help:"Span events dropped because the ring buffer was full"
+      "spans_dropped_total"
+
   type agg = { mutable count : int; mutable total_us : float }
 
   let aggs : (string, agg) Hashtbl.t = Hashtbl.create 64
@@ -352,7 +490,8 @@ module Span = struct
     else begin
       !ring.(!ring_start) <- ev;
       ring_start := (!ring_start + 1) mod cap;
-      incr dropped_count
+      incr dropped_count;
+      Metrics.incr_always m_dropped
     end;
     (match Hashtbl.find_opt aggs ev.name with
     | Some a ->

@@ -55,19 +55,63 @@ module Metrics : sig
   type gauge
   type histogram
 
-  val counter : string -> counter
+  val counter : ?help:string -> string -> counter
   (** Register (or retrieve — registration is idempotent by name) a
       monotone counter. Names follow Prometheus conventions:
-      [snake_case], [_total] suffix for counters.
+      [snake_case], [_total] suffix for counters. [help] becomes the
+      [# HELP] line of the exposition (first non-empty registration
+      wins; the name itself is the fallback).
       @raise Invalid_argument if the name is registered as another
       kind. *)
 
-  val gauge : string -> gauge
-  val histogram : string -> histogram
+  val gauge : ?help:string -> string -> gauge
+  val histogram : ?help:string -> string -> histogram
+
+  (** {2 Labeled families}
+
+      A vec is a metric family with a fixed list of label {e names};
+      {!counter_child} etc. intern one child series per distinct label
+      {e value} tuple. Child handles are ordinary {!counter} /
+      {!gauge} / {!histogram} handles — recording into a labeled
+      series costs exactly a flat record — and the family renders in
+      the exposition as [name{label="value",...}] lines with values
+      escaped per the text-format spec.
+
+      Child creation (like registration) must happen on the main
+      domain outside parallel regions: chunk epilogues and connection
+      setup qualify, worker bodies do not. *)
+
+  type counter_vec
+  type gauge_vec
+  type histogram_vec
+
+  val counter_vec : ?help:string -> string -> labels:string list -> counter_vec
+  (** @raise Invalid_argument on an empty label list, a kind clash, or
+      a label-list clash with an earlier registration of the name. *)
+
+  val gauge_vec : ?help:string -> string -> labels:string list -> gauge_vec
+  val histogram_vec :
+    ?help:string -> string -> labels:string list -> histogram_vec
+
+  val counter_child : counter_vec -> string list -> counter
+  (** The family's series for this label-value tuple, interned on
+      first use (idempotent by values).
+      @raise Invalid_argument if the value count differs from the
+      family's label count. *)
+
+  val gauge_child : gauge_vec -> string list -> gauge
+  val histogram_child : histogram_vec -> string list -> histogram
 
   val incr : counter -> unit
   val add : counter -> int -> unit
   val set : gauge -> int -> unit
+
+  val incr_always : counter -> unit
+  (** Record even while the kernel is disabled — reserved for counters
+      that make telemetry loss itself observable ([spans_dropped_total],
+      pool scheduling). Never used on per-event hot paths. *)
+
+  val add_always : counter -> int -> unit
 
   val observe : histogram -> int -> unit
   (** Record a sample into its log-2 bucket: bucket 0 holds samples
@@ -95,9 +139,12 @@ module Metrics : sig
   (** All registered metric names, in registration order. *)
 
   val to_prometheus : unit -> string
-  (** Text exposition: [# TYPE] comment then sample lines per metric,
-      histograms as cumulative [_bucket{le="..."}] / [_sum] / [_count]
-      series, in registration order. *)
+  (** Text exposition: [# HELP] and [# TYPE] comments then sample lines
+      per family, histograms as cumulative [_bucket{le="..."}] /
+      [_sum] / [_count] series, in registration order with labeled
+      children in creation order. Label values and help text are
+      escaped per the text-format spec (backslash, double quote and
+      newline in labels; backslash and newline in help). *)
 end
 
 module Span : sig

@@ -5,18 +5,65 @@ module Obs = Sl_obs.Obs
    and [step] epilogues as deltas of the engine's own counters, so the
    disabled-mode cost is one flag check per chunk, not per event.
    Counters aggregate across all engines of the process. *)
-let m_events = Obs.Metrics.counter "engine_events_total"
-let m_chunks = Obs.Metrics.counter "engine_chunks_total"
-let m_retired_tripped = Obs.Metrics.counter "engine_retired_tripped_total"
+let m_events =
+  Obs.Metrics.counter ~help:"Events stepped by the engine" "engine_events_total"
+
+let m_chunks =
+  Obs.Metrics.counter ~help:"Feed chunks processed" "engine_chunks_total"
+
+let m_retired_tripped =
+  Obs.Metrics.counter ~help:"Monitors retired on a violation"
+    "engine_retired_tripped_total"
 
 let m_retired_admissible =
-  Obs.Metrics.counter "engine_retired_admissible_total"
+  Obs.Metrics.counter ~help:"Monitors retired admissible-forever"
+    "engine_retired_admissible_total"
 
-let g_live = Obs.Metrics.gauge "engine_live_monitors"
-let h_chunk_latency = Obs.Metrics.histogram "engine_chunk_latency_ns"
-let h_chunk_events = Obs.Metrics.histogram "engine_chunk_events"
-let m_minor_words = Obs.Metrics.counter "engine_minor_words_total"
-let g_minor_words_per_event = Obs.Metrics.gauge "engine_minor_words_per_event"
+let g_live =
+  Obs.Metrics.gauge ~help:"Live (trace, monitor) pairs"
+    "engine_live_monitors"
+
+let h_chunk_latency =
+  Obs.Metrics.histogram ~help:"Feed latency per chunk"
+    "engine_chunk_latency_ns"
+
+let h_chunk_events =
+  Obs.Metrics.histogram ~help:"Events per feed chunk" "engine_chunk_events"
+
+let m_minor_words =
+  Obs.Metrics.counter ~help:"Minor-heap words allocated during feeds"
+    "engine_minor_words_total"
+
+let g_minor_words_per_event =
+  Obs.Metrics.gauge ~help:"Minor-heap words per event, last chunk"
+    "engine_minor_words_per_event"
+
+(* Labeled telemetry (PR 9). Per-monitor series are labeled by the
+   FNV-64 hash of the monitor's canonical key — stable across reloads
+   and processes, unlike the distinct-monitor index — and per-shard
+   series by [trace id mod jobs]. The hot loop only bumps plain int
+   arrays at retirements; label lookup and the counter writes happen in
+   the chunk epilogue, and only while collection is enabled. *)
+let v_monitor_trips =
+  Obs.Metrics.counter_vec
+    ~help:"Violation retirements per distinct monitor (canonical-key hash)"
+    "engine_monitor_trips_total" ~labels:[ "monitor" ]
+
+let v_monitor_retires =
+  Obs.Metrics.counter_vec
+    ~help:"Admissible-forever retirements per distinct monitor \
+           (canonical-key hash)"
+    "engine_monitor_retires_total" ~labels:[ "monitor" ]
+
+let v_shard_events =
+  Obs.Metrics.counter_vec
+    ~help:"Events stepped per trace shard (trace id mod jobs)"
+    "engine_shard_events_total" ~labels:[ "shard" ]
+
+let h_stage_feed =
+  Obs.Metrics.histogram
+    ~help:"Pipeline stage: engine feed latency per chunk"
+    "stage_engine_feed_ns"
 
 type verdict =
   | Vacuous
@@ -56,6 +103,20 @@ type t = {
     (trace:int -> monitor:int -> position:int -> tripped:bool -> unit) option;
       (** incremental retirement callback; [None] (the default) keeps
           the hot path at one comparison per retirement *)
+  (* Per-monitor retirement telemetry: cumulative since creation/reset,
+     process-local (snapshots neither save nor restore it, like the
+     engine_*_total metrics). Bumped unconditionally — one int store
+     per retirement, never per event — so the chunk epilogue can flush
+     deltas into the labeled counters without touching the hot loop. *)
+  mtrips : int array;  (* violation retirements per distinct monitor *)
+  mretires : int array;  (* admissible-forever retirements *)
+  mtrips0 : int array;  (* epilogue scratch: values at chunk start *)
+  mretires0 : int array;
+  shard_scratch : int array array;  (* jobs x M, parallel-feed private *)
+  shard_counts : int array;  (* epilogue scratch: events per shard *)
+  mtrip_children : Obs.Metrics.counter array;  (* label handles, per M *)
+  mretire_children : Obs.Metrics.counter array;
+  shard_children : Obs.Metrics.counter array;  (* per shard *)
 }
 
 let plan_of_monitors monitors =
@@ -86,8 +147,34 @@ let of_plan ?jobs ?(threshold = 65536) plan =
   in
   if jobs < 1 then invalid_arg "Engine.of_plan: jobs must be >= 1";
   if threshold < 0 then invalid_arg "Engine.of_plan: threshold must be >= 0";
+  let m = Array.length plan.monitors in
+  let mslots = max m 1 in
+  (* Label handles are interned eagerly: engine creation is a cold
+     main-domain path, and children are keyed by canonical-key hash, so
+     engines over the same monitors share series. *)
+  let mtrip_children =
+    Array.map
+      (fun pd ->
+        Obs.Metrics.counter_child v_monitor_trips
+          [ Sl_core.Wire.fnv64_hex pd.Packed_dfa.key ])
+      plan.monitors
+  and mretire_children =
+    Array.map
+      (fun pd ->
+        Obs.Metrics.counter_child v_monitor_retires
+          [ Sl_core.Wire.fnv64_hex pd.Packed_dfa.key ])
+      plan.monitors
+  and shard_children =
+    Array.init jobs (fun s ->
+        Obs.Metrics.counter_child v_shard_events [ string_of_int s ])
+  in
   { plan; jobs; threshold; traces = Array.make 4 None; ntraces = 0;
-    events = 0; tripped = 0; retired_ok = 0; hook = None }
+    events = 0; tripped = 0; retired_ok = 0; hook = None;
+    mtrips = Array.make mslots 0; mretires = Array.make mslots 0;
+    mtrips0 = Array.make mslots 0; mretires0 = Array.make mslots 0;
+    shard_scratch = Array.init jobs (fun _ -> Array.make (2 * mslots) 0);
+    shard_counts = Array.make jobs 0; mtrip_children; mretire_children;
+    shard_children }
 
 let create ?jobs ?threshold ~monitors () =
   of_plan ?jobs ?threshold (plan_of_monitors monitors)
@@ -169,6 +256,7 @@ let step_trace eng ~id (tr : trace) symbol =
     if not (Array.unsafe_get pd.Packed_dfa.accepting s') then begin
       Array.unsafe_set tr.tripped_at m tr.events;
       eng.tripped <- eng.tripped + 1;
+      eng.mtrips.(m) <- eng.mtrips.(m) + 1;
       tr.nlive <- tr.nlive - 1;
       Array.unsafe_set tr.live !i (Array.unsafe_get tr.live tr.nlive);
       fire eng ~trace:id ~monitor:m ~position:tr.events ~tripped:true
@@ -178,6 +266,7 @@ let step_trace eng ~id (tr : trace) symbol =
       if Array.unsafe_get pd.Packed_dfa.can_trip s' then incr i
       else begin
         eng.retired_ok <- eng.retired_ok + 1;
+        eng.mretires.(m) <- eng.mretires.(m) + 1;
         tr.nlive <- tr.nlive - 1;
         Array.unsafe_set tr.live !i (Array.unsafe_get tr.live tr.nlive);
         fire eng ~trace:id ~monitor:m ~position:tr.events ~tripped:false
@@ -213,7 +302,7 @@ let rvec_push v ~trace ~monitor ~position ~tripped =
    installed) for post-join replay. Per-trace state needs no such care
    — each trace belongs to exactly one shard. *)
 let step_trace_sharded monitors ~id (tr : trace) symbol ~tripped ~retired
-    ~rvec =
+    ~mcounts ~nmon ~rvec =
   tr.events <- tr.events + 1;
   let i = ref 0 in
   while !i < tr.nlive do
@@ -226,6 +315,7 @@ let step_trace_sharded monitors ~id (tr : trace) symbol ~tripped ~retired
     if not (Array.unsafe_get pd.Packed_dfa.accepting s') then begin
       Array.unsafe_set tr.tripped_at m tr.events;
       incr tripped;
+      mcounts.(m) <- mcounts.(m) + 1;
       tr.nlive <- tr.nlive - 1;
       Array.unsafe_set tr.live !i (Array.unsafe_get tr.live tr.nlive);
       (match rvec with
@@ -238,6 +328,7 @@ let step_trace_sharded monitors ~id (tr : trace) symbol ~tripped ~retired
       if Array.unsafe_get pd.Packed_dfa.can_trip s' then incr i
       else begin
         incr retired;
+        mcounts.(nmon + m) <- mcounts.(nmon + m) + 1;
         tr.nlive <- tr.nlive - 1;
         Array.unsafe_set tr.live !i (Array.unsafe_get tr.live tr.nlive);
         match rvec with
@@ -260,9 +351,18 @@ let live_count eng =
   Array.iter (function Some tr -> n := !n + tr.nlive | None -> ()) eng.traces;
   !n
 
+(* Snapshot the per-monitor cumulative arrays into the epilogue scratch
+   (callers do this only when collection is enabled, before stepping). *)
+let snapshot_monitors eng =
+  let m = Array.length eng.plan.monitors in
+  Array.blit eng.mtrips 0 eng.mtrips0 0 m;
+  Array.blit eng.mretires 0 eng.mretires0 0 m
+
 (* Record the chunk's telemetry from deltas of the engine's own
-   counters. [n] events were just stepped; [t0_us]/[mw0] were read
-   before the loop (only when collection was already enabled). *)
+   counters. [n] events were just stepped; [t0_us]/[mw0] and the
+   monitor snapshot were read before the loop (only when collection was
+   already enabled). Label handles were interned at engine creation, so
+   flushing a delta is one hashtable-free counter add per monitor. *)
 let record_chunk eng ~n ~t0_us ~mw0 ~tripped0 ~retired0 =
   let dt_ns = int_of_float ((Obs.Clock.now_us () -. t0_us) *. 1e3) in
   let mw = int_of_float (Gc.minor_words () -. mw0) in
@@ -272,9 +372,31 @@ let record_chunk eng ~n ~t0_us ~mw0 ~tripped0 ~retired0 =
   Obs.Metrics.add m_retired_admissible (eng.retired_ok - retired0);
   Obs.Metrics.set g_live (live_count eng);
   Obs.Metrics.observe h_chunk_latency dt_ns;
+  Obs.Metrics.observe h_stage_feed dt_ns;
   Obs.Metrics.observe h_chunk_events n;
   Obs.Metrics.add m_minor_words mw;
-  if n > 0 then Obs.Metrics.set g_minor_words_per_event (mw / n)
+  if n > 0 then Obs.Metrics.set g_minor_words_per_event (mw / n);
+  for m = 0 to Array.length eng.plan.monitors - 1 do
+    let dt = eng.mtrips.(m) - eng.mtrips0.(m)
+    and dr = eng.mretires.(m) - eng.mretires0.(m) in
+    if dt > 0 then Obs.Metrics.add eng.mtrip_children.(m) dt;
+    if dr > 0 then Obs.Metrics.add eng.mretire_children.(m) dr
+  done
+
+(* Per-shard event counts for the chunk: an O(n) pass over the chunk's
+   trace ids, run only in the enabled epilogue — the shard split is a
+   pure function of the ids, so this stays out of the stepping loops. *)
+let record_shard_events eng ~off ~n ~traces =
+  let jobs = eng.jobs in
+  Array.fill eng.shard_counts 0 jobs 0;
+  for k = off to off + n - 1 do
+    let s = Array.unsafe_get traces k mod jobs in
+    eng.shard_counts.(s) <- eng.shard_counts.(s) + 1
+  done;
+  for s = 0 to jobs - 1 do
+    if eng.shard_counts.(s) > 0 then
+      Obs.Metrics.add eng.shard_children.(s) eng.shard_counts.(s)
+  done
 
 let step eng ~trace ~symbol =
   check_symbol eng symbol;
@@ -284,8 +406,10 @@ let step eng ~trace ~symbol =
     let t0_us = Obs.Clock.now_us () in
     let mw0 = Gc.minor_words () in
     let tripped0 = eng.tripped and retired0 = eng.retired_ok in
+    snapshot_monitors eng;
     step_trace eng ~id:trace (get_trace eng trace) symbol;
-    record_chunk eng ~n:1 ~t0_us ~mw0 ~tripped0 ~retired0
+    record_chunk eng ~n:1 ~t0_us ~mw0 ~tripped0 ~retired0;
+    Obs.Metrics.incr eng.shard_children.(trace mod eng.jobs)
   end
 
 (* Sharded parallel feed. Traces are the independent unit — each owns
@@ -309,7 +433,15 @@ let feed_parallel eng ~off ~n ~traces ~symbols =
     ignore (get_trace eng (Array.unsafe_get traces k))
   done;
   let jobs = eng.jobs in
+  let nmon = Array.length eng.plan.monitors in
   let tripped_by = Array.make jobs 0 and retired_by = Array.make jobs 0 in
+  (* Per-shard monitor retirement counts live in the engine's reusable
+     shard-private scratch rows ([trips.(m); retires.(m)] packed as one
+     2M row per shard) — worker domains never write the shared
+     cumulative arrays. *)
+  for shard = 0 to jobs - 1 do
+    Array.fill eng.shard_scratch.(shard) 0 (2 * max nmon 1) 0
+  done;
   let rvecs =
     match eng.hook with
     | None -> [||]
@@ -318,6 +450,7 @@ let feed_parallel eng ~off ~n ~traces ~symbols =
   let pool = Sl_core.Pool.create ~jobs () in
   Sl_core.Pool.parallel_for ~chunk:1 pool ~n:jobs (fun shard ->
       let tripped = ref 0 and retired = ref 0 in
+      let mcounts = eng.shard_scratch.(shard) in
       let rvec =
         if Array.length rvecs = 0 then None else Some rvecs.(shard)
       in
@@ -328,7 +461,8 @@ let feed_parallel eng ~off ~n ~traces ~symbols =
           match Array.unsafe_get engine_traces id with
           | Some tr ->
               step_trace_sharded eng.plan.monitors ~id tr
-                (Array.unsafe_get symbols k) ~tripped ~retired ~rvec
+                (Array.unsafe_get symbols k) ~tripped ~retired ~mcounts ~nmon
+                ~rvec
           | None -> ()
       done;
       tripped_by.(shard) <- !tripped;
@@ -336,7 +470,12 @@ let feed_parallel eng ~off ~n ~traces ~symbols =
   eng.events <- eng.events + n;
   for shard = 0 to jobs - 1 do
     eng.tripped <- eng.tripped + tripped_by.(shard);
-    eng.retired_ok <- eng.retired_ok + retired_by.(shard)
+    eng.retired_ok <- eng.retired_ok + retired_by.(shard);
+    let mcounts = eng.shard_scratch.(shard) in
+    for m = 0 to nmon - 1 do
+      eng.mtrips.(m) <- eng.mtrips.(m) + mcounts.(m);
+      eng.mretires.(m) <- eng.mretires.(m) + mcounts.(nmon + m)
+    done
   done;
   (* Replay the buffered retirements into the hook after the join, in
      shard order — deterministic for a given [jobs], chronological
@@ -381,12 +520,14 @@ let feed eng ?(off = 0) ~n ~traces ~symbols () =
     let t0_us = Obs.Clock.now_us () in
     let mw0 = Gc.minor_words () in
     let tripped0 = eng.tripped and retired0 = eng.retired_ok in
+    snapshot_monitors eng;
     (match run () with
     | () -> ()
     | exception e ->
         Obs.Span.exit sp;
         raise e);
     record_chunk eng ~n ~t0_us ~mw0 ~tripped0 ~retired0;
+    record_shard_events eng ~off ~n ~traces;
     Obs.Span.attr sp "events" n;
     Obs.Span.attr sp "tripped" (eng.tripped - tripped0);
     Obs.Span.attr sp "retired_admissible" (eng.retired_ok - retired0);
@@ -397,6 +538,8 @@ let reset eng =
   eng.events <- 0;
   eng.tripped <- 0;
   eng.retired_ok <- 0;
+  Array.fill eng.mtrips 0 (Array.length eng.mtrips) 0;
+  Array.fill eng.mretires 0 (Array.length eng.mretires) 0;
   Array.iter
     (function Some tr -> init_trace eng tr | None -> ())
     eng.traces
@@ -419,6 +562,55 @@ let live eng =
 let trace_events eng id =
   if id < 0 || id >= Array.length eng.traces then 0
   else match eng.traces.(id) with Some tr -> tr.events | None -> 0
+
+(* Exact per-monitor verdict census over the materialized traces —
+   derived from the trace table itself, not the telemetry counters, so
+   it matches the offline report exactly even after a resume (the
+   cumulative counters are process-local). One O(N x M) pass. *)
+type monitor_counts = {
+  mc_live : int;
+  mc_tripped : int;
+  mc_retired : int;
+}
+
+let monitor_counts eng =
+  let m = Array.length eng.plan.monitors in
+  let live = Array.make (max m 1) 0 and tripped = Array.make (max m 1) 0 in
+  let seen = ref 0 in
+  Array.iter
+    (function
+      | None -> ()
+      | Some tr ->
+          incr seen;
+          for i = 0 to tr.nlive - 1 do
+            let mi = tr.live.(i) in
+            live.(mi) <- live.(mi) + 1
+          done;
+          for mi = 0 to m - 1 do
+            if tr.tripped_at.(mi) >= 0 then tripped.(mi) <- tripped.(mi) + 1
+          done)
+    eng.traces;
+  Array.init m (fun mi ->
+      if eng.plan.monitors.(mi).Packed_dfa.vacuous then
+        { mc_live = 0; mc_tripped = 0; mc_retired = 0 }
+      else
+        { mc_live = live.(mi); mc_tripped = tripped.(mi);
+          mc_retired = !seen - live.(mi) - tripped.(mi) })
+
+(* Cheap per-trace census for /traces: (events, live, tripped) without
+   copying the packed state the way [export_trace] does. *)
+let trace_summary eng id =
+  if id < 0 || id >= Array.length eng.traces then None
+  else
+    match eng.traces.(id) with
+    | None -> None
+    | Some tr ->
+        let m = Array.length eng.plan.monitors in
+        let ntripped = ref 0 in
+        for mi = 0 to m - 1 do
+          if tr.tripped_at.(mi) >= 0 then incr ntripped
+        done;
+        Some (tr.events, tr.nlive, !ntripped)
 
 let verdict eng ~trace ~monitor =
   let pd = eng.plan.monitors.(monitor) in

@@ -129,6 +129,29 @@ val retired_admissible : t -> int
 val nvacuous : t -> int
 (** Vacuous monitors (per trace; they are never instantiated live). *)
 
+(** {1 Introspection census}
+
+    Exact counts derived from the trace table itself (not the
+    process-local telemetry counters), so they square with the offline
+    report even after a [--resume] — the serving layer's [/monitors]
+    and [/traces] endpoints read these. *)
+
+type monitor_counts = {
+  mc_live : int;  (** traces where this monitor is still undecided *)
+  mc_tripped : int;  (** traces where it retired by violation *)
+  mc_retired : int;  (** traces where it retired admissible-forever *)
+}
+
+val monitor_counts : t -> monitor_counts array
+(** One entry per distinct monitor, over every materialized trace.
+    Vacuous monitors count all-zero (they are never instantiated).
+    O(ntraces x nmonitors). *)
+
+val trace_summary : t -> int -> (int * int * int) option
+(** [(events, live, tripped)] for a materialized trace id, [None]
+    otherwise. Allocation-light ([export_trace] copies state out;
+    this only counts). *)
+
 (** {1 Run-state externalization}
 
     The session codec's view of a run: per-trace packed state as plain

@@ -6,6 +6,18 @@
    in [0, alphabet). Blank lines and '#' comments are skipped. Trace ids
    are interned to the dense ints the engine indexes by. *)
 
+module Obs = Sl_obs.Obs
+
+(* Pipeline-stage timing: time spent splitting/validating lines between
+   chunk flushes (the engine-feed stage is timed by [Engine.feed]
+   itself). Recorded once per chunk — the per-line loop never reads the
+   clock. The same family is recorded by [Sl_serve.Conn] for the
+   socket path. *)
+let h_stage_parse =
+  Obs.Metrics.histogram
+    ~help:"Pipeline stage: line parse/accumulate latency per chunk"
+    "stage_ingest_parse_ns"
+
 type t = {
   tbl : (string, int) Hashtbl.t;
   mutable names : string array;
@@ -96,10 +108,19 @@ let create_chunk size =
    flushes — steady-state ingestion allocates only on new trace ids. *)
 let read ?(chunk_size = 4096) ~alphabet t ~next_line ~on_chunk ~on_error =
   let chunk = create_chunk chunk_size in
+  (* Parse-stage mark: set when a chunk starts filling under an enabled
+     kernel, observed (as the chunk's accumulated parse time) at flush.
+     NaN = no mark, so a kernel enabled mid-read just skips the first
+     partial observation. *)
+  let mark = ref (if Obs.is_enabled () then Obs.Clock.now_us () else nan) in
   let flush () =
     if chunk.len > 0 then begin
+      if Obs.is_enabled () && not (Float.is_nan !mark) then
+        Obs.Metrics.observe h_stage_parse
+          (int_of_float ((Obs.Clock.now_us () -. !mark) *. 1e3));
       on_chunk chunk;
-      chunk.len <- 0
+      chunk.len <- 0;
+      mark := (if Obs.is_enabled () then Obs.Clock.now_us () else nan)
     end
   in
   let lineno = ref 0 in

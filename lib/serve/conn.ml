@@ -1,4 +1,28 @@
 open Sl_runtime
+module Obs = Sl_obs.Obs
+
+(* Pipeline-stage timing (socket path): the parse stage is the time
+   [on_bytes] spends splitting lines and batching events, minus the
+   nested engine-feed time — observed once per [on_bytes] call, never
+   per line. The same family is recorded by [Ingest.read] offline. *)
+let h_stage_parse =
+  Obs.Metrics.histogram
+    ~help:"Pipeline stage: line parse/accumulate latency per chunk"
+    "stage_ingest_parse_ns"
+
+(* Per-listener labeled series. The label is the listener kind, not the
+   connection id: ids are unbounded over a daemon's lifetime and would
+   blow up the exposition's cardinality, so exact per-connection state
+   lives in the /status connection table instead (see DESIGN.md
+   par. 6.13). *)
+let v_conn_events =
+  Obs.Metrics.counter_vec ~help:"Events accepted from clients, per listener"
+    "conn_events_total" ~labels:[ "listener" ]
+
+let v_conn_errors =
+  Obs.Metrics.counter_vec
+    ~help:"Malformed or rejected client lines, per listener"
+    "conn_errors_total" ~labels:[ "listener" ]
 
 type mode =
   | Lines  (* streaming the Ingest line protocol *)
@@ -6,9 +30,12 @@ type mode =
   | Done  (* EOF seen, draining *)
 
 type t = {
+  id : int;  (* process-unique, for the /status connection table *)
   daemon : Daemon.t;
   max_line : int;
   hwm : int;
+  listener : string;  (* "unix" | "tcp" | "local" (tests) *)
+  http_handler : (string -> (string * string * string) option) option;
   buf : Buffer.t;  (* at most one partial line *)
   mutable oversized : bool;  (* discarding until the next newline *)
   mutable nlines : int;
@@ -22,18 +49,29 @@ type t = {
   mutable conn_events : int;
   mutable conn_errors : int;
   mutable draining : bool;
+  mutable feed_us : float;  (* engine time nested in the current on_bytes *)
+  ev_child : Obs.Metrics.counter;
+  err_child : Obs.Metrics.counter;
 }
 
 let enqueue c s =
   Queue.push s c.outq;
   c.out_bytes <- c.out_bytes + String.length s
 
-let create ?(max_line = 65536) ?(hwm = 262144) daemon =
+let next_id = ref 0
+
+let create ?(max_line = 65536) ?(hwm = 262144) ?(listener = "local") ?http
+    daemon =
+  let id = !next_id in
+  incr next_id;
   let c =
     {
+      id;
       daemon;
       max_line;
       hwm;
+      listener;
+      http_handler = http;
       buf = Buffer.create 256;
       oversized = false;
       nlines = 0;
@@ -47,6 +85,9 @@ let create ?(max_line = 65536) ?(hwm = 262144) daemon =
       conn_events = 0;
       conn_errors = 0;
       draining = false;
+      feed_us = 0.;
+      ev_child = Obs.Metrics.counter_child v_conn_events [ listener ];
+      err_child = Obs.Metrics.counter_child v_conn_errors [ listener ];
     }
   in
   c
@@ -67,11 +108,18 @@ let greet c =
 
 let report c ~trace reason =
   c.conn_errors <- c.conn_errors + 1;
+  Obs.Metrics.incr c.err_child;
   enqueue c (Records.error ~line:c.nlines ~trace ~reason)
 
 let flush_chunk c =
   if c.chunk.Ingest.len > 0 then begin
-    Daemon.feed c.daemon ~sink:(enqueue c) c.chunk;
+    (if Obs.is_enabled () then begin
+       let t0 = Obs.Clock.now_us () in
+       Daemon.feed c.daemon ~sink:(enqueue c) c.chunk;
+       c.feed_us <- c.feed_us +. (Obs.Clock.now_us () -. t0);
+       Obs.Metrics.add c.ev_child c.chunk.Ingest.len
+     end
+     else Daemon.feed c.daemon ~sink:(enqueue c) c.chunk);
     c.chunk.Ingest.len <- 0
   end
 
@@ -86,7 +134,10 @@ let http c line =
   let status, ctype, body =
     if path = "/metrics" then
       ("200 OK", "text/plain; version=0.0.4", Sl_obs.Obs.Metrics.to_prometheus ())
-    else ("404 Not Found", "text/plain", "not found\n")
+    else
+      match Option.bind c.http_handler (fun h -> h path) with
+      | Some reply -> reply
+      | None -> ("404 Not Found", "text/plain", "not found\n")
   in
   enqueue c
     (Printf.sprintf
@@ -163,6 +214,9 @@ let partial_line c seg =
 
 let on_bytes c s =
   if c.mode = Lines then begin
+    let enabled = Obs.is_enabled () in
+    let t0 = if enabled then Obs.Clock.now_us () else 0. in
+    c.feed_us <- 0.;
     let n = String.length s in
     let i = ref 0 in
     while !i < n && c.mode = Lines do
@@ -174,7 +228,12 @@ let on_bytes c s =
           partial_line c (String.sub s !i (n - !i));
           i := n
     done;
-    flush_chunk c
+    flush_chunk c;
+    if enabled && c.mode = Lines then begin
+      let parse_us = Obs.Clock.now_us () -. t0 -. c.feed_us in
+      if parse_us >= 0. then
+        Obs.Metrics.observe h_stage_parse (int_of_float (parse_us *. 1e3))
+    end
   end
 
 let on_eof c =
@@ -247,3 +306,13 @@ let touched c =
 
 let events c = c.conn_events
 let errors c = c.conn_errors
+let id c = c.id
+let lines c = c.nlines
+let listener c = c.listener
+
+let mode_name c =
+  match c.mode with Lines -> "lines" | Http -> "http" | Done -> "done"
+
+(* Back-pressured: still streaming but over the high-water mark, so the
+   loop has stopped selecting the socket for reads. *)
+let stalled c = c.mode = Lines && (not c.draining) && c.out_bytes >= c.hwm

@@ -1,4 +1,15 @@
 open Sl_runtime
+module Obs = Sl_obs.Obs
+
+(* Pipeline-stage timing: time spent rendering verdict records (the
+   retire hook plus pre-tripped announcements) during one feed.
+   Retirements are rare — at most monitors x traces over a whole run —
+   so the two clock reads per firing stay off the per-event path; the
+   accumulated delta is observed once per chunk. *)
+let h_stage_render =
+  Obs.Metrics.histogram
+    ~help:"Pipeline stage: verdict record render latency per chunk"
+    "stage_verdict_render_ns"
 
 type t = {
   mutable session : Session.t;
@@ -10,6 +21,7 @@ type t = {
       (* trace ids below this had their pre-tripped verdicts emitted
          (or predate the daemon and are covered by EOF dumps) *)
   mutable sink : string -> unit;
+  mutable render_us : float;  (* render time nested in the current feed *)
 }
 
 let drop (_ : string) = ()
@@ -34,6 +46,7 @@ let install_hook d =
   Engine.set_retire_hook (Session.engine d.session)
     (Some
        (fun ~trace ~monitor ~position ~tripped ->
+         let t0 = if Obs.is_enabled () then Obs.Clock.now_us () else 0. in
          let tname = Ingest.name (Session.ingest d.session) trace in
          List.iter
            (fun prop ->
@@ -42,7 +55,9 @@ let install_hook d =
                   Records.verdict_violation ~trace:tname ~prop ~position
                     ~cause:"trip"
                 else Records.verdict_admissible ~trace:tname ~prop ~cause:"retire"))
-           d.props_of_monitor.(monitor)))
+           d.props_of_monitor.(monitor);
+         if t0 > 0. then
+           d.render_us <- d.render_us +. (Obs.Clock.now_us () -. t0)))
 
 let adopt d session =
   d.session <- session;
@@ -60,6 +75,7 @@ let make session =
       pretripped_props = [];
       announced = 0;
       sink = drop;
+      render_us = 0.;
     }
   in
   adopt d session;
@@ -75,6 +91,7 @@ let fingerprint d = Registry.fingerprint (registry d)
 let feed d ~sink (chunk : Ingest.chunk) =
   let eng = Session.engine d.session in
   d.sink <- sink;
+  d.render_us <- 0.;
   Fun.protect
     ~finally:(fun () -> d.sink <- drop)
     (fun () ->
@@ -82,7 +99,8 @@ let feed d ~sink (chunk : Ingest.chunk) =
         ~symbols:chunk.Ingest.symbols ());
   let after = Engine.ntraces eng in
   if after > d.announced then begin
-    (if d.pretripped_props <> [] then
+    (if d.pretripped_props <> [] then begin
+       let t0 = if Obs.is_enabled () then Obs.Clock.now_us () else 0. in
        let ing = Session.ingest d.session in
        for id = d.announced to after - 1 do
          let trace = Ingest.name ing id in
@@ -92,9 +110,14 @@ let feed d ~sink (chunk : Ingest.chunk) =
                (Records.verdict_violation ~trace ~prop ~position:0
                   ~cause:"pretripped"))
            d.pretripped_props
-       done);
+       done;
+       if t0 > 0. then
+         d.render_us <- d.render_us +. (Obs.Clock.now_us () -. t0)
+     end);
     d.announced <- after
-  end
+  end;
+  if Obs.is_enabled () && d.render_us > 0. then
+    Obs.Metrics.observe h_stage_render (int_of_float (d.render_us *. 1e3))
 
 let dump d ~sink ~trace =
   let eng = Session.engine d.session in

@@ -1,0 +1,31 @@
+(** A minimal JSON value parser — enough for [slc top] and the tests to
+    consume the daemon's [sl-status/1] and NDJSON output without an
+    external JSON dependency. Numbers are floats; strings decode the
+    standard escapes including [\uXXXX] (surrogate pairs) to UTF-8.
+    Rendering stays hand-rolled in {!Records}/{!Introspect} so field
+    order remains byte-stable. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list  (** members in document order *)
+
+val parse : string -> (t, string) result
+(** Whole-string parse; trailing non-whitespace bytes are an error. *)
+
+val member : string -> t -> t option
+(** Object member by key ([None] on non-objects and absent keys). *)
+
+val str : t -> string option
+val num : t -> float option
+
+val int_ : t -> int option
+(** Truncates; the daemon only emits integers where the schema says
+    integer. *)
+
+val bool_ : t -> bool option
+val arr : t -> t list option
+val obj : t -> (string * t) list option

@@ -38,6 +38,14 @@ let m_reloads = Obs.Metrics.counter "serve_reloads_total"
 let m_reload_failures = Obs.Metrics.counter "serve_reload_failures_total"
 let m_conn_errors = Obs.Metrics.counter "serve_line_errors_total"
 
+(* Pipeline-stage timing: one observation per write pump (a connection
+   draining its queue to the socket), the last stage of the serving
+   pipeline. *)
+let h_stage_write =
+  Obs.Metrics.histogram
+    ~help:"Pipeline stage: socket write pump latency per round"
+    "stage_socket_write_ns"
+
 (* Signal flags: handlers only flip refs; the loop acts between
    rounds. *)
 let hup = ref false
@@ -124,6 +132,11 @@ let run cfg =
   let registry = build_registry cfg in
   let session = build_session cfg registry in
   let daemon = Daemon.make session in
+  let introspect =
+    Introspect.create ?resumed_from:cfg.resume ?snapshot_path:cfg.snapshot
+      ~version:"1.0.0" daemon
+  in
+  let http = Introspect.handler introspect in
   install_signals ();
   hup := false;
   term := false;
@@ -157,14 +170,23 @@ let run cfg =
       | `Tcp port -> note cfg "slc serve: listening on 127.0.0.1:%d\n%!" port)
     !listeners;
   let clients = ref [] in
+  Introspect.set_conns introspect (fun () ->
+      List.filter_map
+        (fun cl ->
+          if cl.dead then None
+          else Some (Introspect.conn_info_of_conn cl.conn))
+        !clients);
   let rbuf = Bytes.create 65536 in
-  let accept_all lfd =
+  let accept_all lfd ~listener =
     let continue = ref true in
     while !continue do
       match Unix.accept ~cloexec:true lfd with
       | fd, _ ->
           Unix.set_nonblock fd;
-          let conn = Conn.create ~max_line:cfg.max_line ~hwm:cfg.hwm daemon in
+          let conn =
+            Conn.create ~max_line:cfg.max_line ~hwm:cfg.hwm ~listener ~http
+              daemon
+          in
           clients := { fd; conn; dead = false } :: !clients;
           Obs.Metrics.incr m_conns_total
       | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) ->
@@ -184,6 +206,11 @@ let run cfg =
     | exception Unix.Unix_error ((ECONNRESET | EPIPE), _, _) -> cl.dead <- true
   in
   let write_client cl =
+    let t0 =
+      if Obs.is_enabled () && Conn.pending_output cl.conn > 0 then
+        Obs.Clock.now_us ()
+      else 0.
+    in
     let continue = ref true in
     while !continue do
       match Conn.next_output cl.conn with
@@ -199,7 +226,10 @@ let run cfg =
           | exception Unix.Unix_error ((EPIPE | ECONNRESET), _, _) ->
               cl.dead <- true;
               continue := false)
-    done
+    done;
+    if t0 > 0. then
+      Obs.Metrics.observe h_stage_write
+        (int_of_float ((Obs.Clock.now_us () -. t0) *. 1e3))
   in
   let do_reload () =
     match
@@ -210,6 +240,13 @@ let run cfg =
         List.iter prerr_endline errs;
         Daemon.swap_session daemon s;
         Obs.Metrics.incr m_reloads;
+        Introspect.note_reload introspect ~ok:true
+          ~detail:
+            (Printf.sprintf "%d props, %d/%d monitors carried, fingerprint %s"
+               (Registry.nprops (Daemon.registry daemon))
+               carried
+               (Registry.nmonitors (Daemon.registry daemon))
+               (Daemon.fingerprint daemon));
         note cfg
           "slc serve: reloaded %s (%d props, %d/%d monitors carried, \
            fingerprint %s)\n\
@@ -221,6 +258,7 @@ let run cfg =
           (Daemon.fingerprint daemon)
     | Error e ->
         Obs.Metrics.incr m_reload_failures;
+        Introspect.note_reload introspect ~ok:false ~detail:e;
         note cfg "slc serve: reload refused: %s\n%!" e
   in
   while not !term do
@@ -248,7 +286,8 @@ let run cfg =
         List.iter
           (fun fd ->
             match List.assoc_opt fd !listeners with
-            | Some _ -> accept_all fd
+            | Some (`Unix _) -> accept_all fd ~listener:"unix"
+            | Some (`Tcp _) -> accept_all fd ~listener:"tcp"
             | None -> (
                 match List.find_opt (fun cl -> cl.fd == fd) !clients with
                 | Some cl -> read_client cl

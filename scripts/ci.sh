@@ -3,8 +3,9 @@
 # run the full test suite (once at the default pool width and once with
 # SLC_JOBS=4 so every parallel path runs sharded), run every example
 # program, exercise the CLI (including the observability surface:
-# --metrics / --trace-out, and the -j byte-identity cross-checks), then
-# regenerate the benchmark trajectory JSON (writes BENCH_PR8.json at the
+# --metrics / --trace-out, the -j byte-identity cross-checks, and the
+# daemon's /status introspection endpoints + slc top), then regenerate
+# the benchmark trajectory JSON (writes BENCH_PR9.json at the
 # repo root, with ratios against the most recent tracked BENCH_PR*.json).
 # Run from the repository root.
 set -eu
@@ -237,6 +238,7 @@ echo "$vout" | grep -q "^slc 1.0.0$"
 echo "$vout" | grep -q "artifact format: sl-artifact/1"
 echo "$vout" | grep -q "dfa(1), buchi(2), digraph(3), pack(4), session(5)"
 echo "$vout" | grep -q "sl-monitor-report/1"
+echo "$vout" | grep -q "sl-status/1"
 
 # Serving smoke: the daemon must agree with the offline pipeline.
 # Two concurrent clients split the example stream by trace (per-trace
@@ -257,6 +259,21 @@ wait_sock() {
     [ "$i" -le 100 ] || { echo "daemon never bound $sock"; exit 1; }
     sleep 0.1
   done
+}
+scrape() { # scrape PATH OUT  — one-shot HTTP GET over the stream socket
+  printf 'GET %s HTTP/1.0\r\n\r\n' "$1" \
+    | python3 -c '
+import socket, sys
+s = socket.socket(socket.AF_UNIX); s.settimeout(30)
+s.connect(sys.argv[1]); s.sendall(sys.stdin.buffer.read())
+s.shutdown(socket.SHUT_WR)
+buf = b""
+while True:
+    d = s.recv(1 << 16)
+    if not d: break
+    buf += d
+sys.stdout.buffer.write(buf)
+' "$sock" > "$2"
 }
 # Split the example stream by trace id (per-trace event order is all
 # that matters; the two clients interleave freely).
@@ -312,19 +329,29 @@ daemon=$!
 wait_sock
 python3 scripts/serve_client.py "$sock" "$servedir/half2" "$servedir/h2.out"
 # Scrape /metrics over the same socket while the daemon is still up.
-printf 'GET /metrics HTTP/1.0\r\n\r\n' \
-  | python3 -c '
-import socket, sys
-s = socket.socket(socket.AF_UNIX); s.settimeout(30)
-s.connect(sys.argv[1]); s.sendall(sys.stdin.buffer.read())
-s.shutdown(socket.SHUT_WR)
-buf = b""
-while True:
-    d = s.recv(1 << 16)
-    if not d: break
-    buf += d
-sys.stdout.write(buf.decode())
-' "$sock" > "$servedir/metrics.out"
+scrape /metrics "$servedir/metrics.out"
+# The introspection endpoints, on the same one-shot HTTP path: every
+# body must be valid sl-status/1 JSON, and /monitors' per-monitor
+# census must equal the uninterrupted offline report's verdict counts
+# even though this daemon only stepped the second half itself (the
+# census reads the resumed trace table, not process-local counters).
+echo "--- slc serve /status introspection smoke"
+scrape /status "$servedir/status.out"
+python3 scripts/status_check.py status "$servedir/status.out"
+scrape /healthz "$servedir/healthz.out"
+python3 scripts/status_check.py healthz "$servedir/healthz.out"
+scrape /traces "$servedir/traces.out"
+python3 scripts/status_check.py traces "$servedir/traces.out"
+scrape /monitors "$servedir/monitors.out"
+python3 scripts/status_check.py monitors "$servedir/monitors.out" \
+  "$servedir/offline.json"
+# slc top: --once --json emits the raw /status body; the dashboard
+# renders without a terminal.
+echo "--- slc top smoke"
+"$SLC" top --socket "$sock" --once --json > "$servedir/top.json"
+python3 scripts/status_check.py status "$servedir/top.json"
+"$SLC" top --socket "$sock" --once | grep -q "slc top" \
+  || { echo "slc top dashboard missing header"; exit 1; }
 kill -TERM "$daemon"; wait "$daemon" \
   || { echo "resumed daemon shutdown failed"; exit 1; }
 grep -q "HTTP/1.0 200 OK" "$servedir/metrics.out"
@@ -361,8 +388,28 @@ for j in 1 4; do
     --quiet 2>> "$servedir/serve.log" &
   daemon=$!
   wait_sock
+  # Stream the million events in the background and scrape the
+  # introspection endpoints mid-soak: every body must parse as valid
+  # sl-status/1 JSON while the engine is under load.
   python3 scripts/serve_client.py "$sock" "$servedir/soak.events" \
-    "$servedir/soak.out"
+    "$servedir/soak.out" &
+  soaker=$!
+  for probe in 1 2 3; do
+    scrape /status "$servedir/soak-status.out"
+    python3 scripts/status_check.py status "$servedir/soak-status.out" \
+      > /dev/null
+    scrape /healthz "$servedir/soak-healthz.out"
+    python3 scripts/status_check.py healthz "$servedir/soak-healthz.out" \
+      > /dev/null
+    sleep 0.2
+  done
+  echo "mid-soak /status scrapes ok"
+  wait "$soaker" || { echo "soak client failed"; exit 1; }
+  # Stream fully fed: the per-monitor census must now equal the offline
+  # report's verdict counts exactly.
+  scrape /monitors "$servedir/soak-monitors.out"
+  python3 scripts/status_check.py monitors "$servedir/soak-monitors.out" \
+    "$servedir/soak.json"
   kill -TERM "$daemon"; wait "$daemon" \
     || { echo "soak daemon shutdown failed"; exit 1; }
   python3 scripts/serve_norm.py served "$servedir/soak.out" \

@@ -85,10 +85,89 @@ let test_prometheus_exposition () =
   in
   List.iter
     (fun line -> check ("exposition has " ^ line) true (has line))
-    [ "# TYPE test_expo_total counter"; "test_expo_total 3";
-      "# TYPE test_expo_hist histogram"; "test_expo_hist_bucket{le=\"3\"} 1";
+    [ "# TYPE test_expo_total counter"; "# HELP test_expo_total";
+      "test_expo_total 3"; "# TYPE test_expo_hist histogram";
+      "test_expo_hist_bucket{le=\"3\"} 1";
       "test_expo_hist_bucket{le=\"+Inf\"} 1"; "test_expo_hist_sum 2";
       "test_expo_hist_count 1" ]
+
+(* --- Labeled families --- *)
+
+let has_sub text needle =
+  let n = String.length needle and m = String.length text in
+  let rec scan i = i + n <= m && (String.sub text i n = needle || scan (i + 1)) in
+  scan 0
+
+let test_labeled_families () =
+  Obs.enable ();
+  let v = Obs.Metrics.counter_vec "test_vec_total" ~labels:[ "monitor" ] in
+  let a = Obs.Metrics.counter_child v [ "m0" ] in
+  let b = Obs.Metrics.counter_child v [ "m1" ] in
+  Obs.Metrics.add a 3;
+  Obs.Metrics.incr b;
+  (* Children are interned by label values: a second lookup is the same
+     series, and recording through either handle hits the same cell. *)
+  let a' = Obs.Metrics.counter_child v [ "m0" ] in
+  Obs.Metrics.incr a';
+  check_int "interned child shares the cell" 4 (Obs.Metrics.counter_value a);
+  check_int "sibling isolated" 1 (Obs.Metrics.counter_value b);
+  (* Arity and registration clashes are hard errors. *)
+  check "value-count mismatch rejected" true
+    (match Obs.Metrics.counter_child v [ "m0"; "extra" ] with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  check "label-list clash rejected" true
+    (match Obs.Metrics.counter_vec "test_vec_total" ~labels:[ "other" ] with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  check "empty label list rejected" true
+    (match Obs.Metrics.counter_vec "test_vec_empty_total" ~labels:[] with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  (* One family header, one sample line per child, labels rendered. *)
+  let text = Obs.Metrics.to_prometheus () in
+  List.iter
+    (fun line -> check ("vec exposition has " ^ line) true (has_sub text line))
+    [ "# TYPE test_vec_total counter"; "test_vec_total{monitor=\"m0\"} 4";
+      "test_vec_total{monitor=\"m1\"} 1" ];
+  (* Labeled histograms put [le] after the family labels. *)
+  let hv = Obs.Metrics.histogram_vec "test_vec_hist" ~labels:[ "shard" ] in
+  let h0 = Obs.Metrics.histogram_child hv [ "0" ] in
+  Obs.Metrics.observe h0 2;
+  let text = Obs.Metrics.to_prometheus () in
+  List.iter
+    (fun line -> check ("vec histogram has " ^ line) true (has_sub text line))
+    [ "test_vec_hist_bucket{shard=\"0\",le=\"3\"} 1";
+      "test_vec_hist_bucket{shard=\"0\",le=\"+Inf\"} 1";
+      "test_vec_hist_sum{shard=\"0\"} 2"; "test_vec_hist_count{shard=\"0\"} 1" ]
+
+let test_exposition_escaping () =
+  Obs.enable ();
+  let v =
+    Obs.Metrics.counter_vec "test_escape_total"
+      ~help:"line one\nline two \\ backslash" ~labels:[ "path" ]
+  in
+  let c = Obs.Metrics.counter_child v [ "a\\b\"c\nd" ] in
+  Obs.Metrics.incr c;
+  let text = Obs.Metrics.to_prometheus () in
+  (* Per the text-format spec: labels escape backslash, double quote and
+     newline; help escapes backslash and newline. *)
+  check "label value escaped" true
+    (has_sub text "test_escape_total{path=\"a\\\\b\\\"c\\nd\"} 1");
+  check "help escaped" true
+    (has_sub text
+       "# HELP test_escape_total line one\\nline two \\\\ backslash")
+
+let test_always_on_counters () =
+  (* spans_dropped_total-style counters record even while dark, so the
+     loss of telemetry is itself observable. *)
+  Obs.disable ();
+  let c = Obs.Metrics.counter "test_always_total" in
+  Obs.Metrics.incr_always c;
+  Obs.Metrics.add_always c 2;
+  check_int "always-on records while dark" 3 (Obs.Metrics.counter_value c);
+  Obs.Metrics.incr c;
+  check_int "plain incr still gated" 3 (Obs.Metrics.counter_value c)
 
 (* --- Spans --- *)
 
@@ -273,6 +352,11 @@ let tests =
       (fresh test_metrics_counters_gauges);
     Alcotest.test_case "prometheus exposition" `Quick
       (fresh test_prometheus_exposition);
+    Alcotest.test_case "labeled families" `Quick (fresh test_labeled_families);
+    Alcotest.test_case "exposition escaping" `Quick
+      (fresh test_exposition_escaping);
+    Alcotest.test_case "always-on counters" `Quick
+      (fresh test_always_on_counters);
     Alcotest.test_case "span nesting and ordering" `Quick
       (fresh test_span_nesting_and_ordering);
     Alcotest.test_case "span ring, aggregates, JSONL" `Quick

@@ -464,6 +464,211 @@ let test_reload_at_every_chunk () =
       (SS.equal offline (served_tuples (Conn.drain_output conn)))
   done
 
+(* {2 Introspection: /status, /monitors, /traces, /healthz} *)
+
+module Introspect = Sl_serve.Introspect
+module Jsonv = Sl_serve.Jsonv
+module Obs = Sl_obs.Obs
+
+let parse_json body =
+  match Jsonv.parse body with
+  | Ok v -> v
+  | Error e -> Alcotest.failf "invalid JSON (%s): %s" e body
+
+let jmem k v = Option.get (Jsonv.member k v)
+let jint k v = Option.get (Jsonv.int_ (jmem k v))
+let jstr k v = Option.get (Jsonv.str (jmem k v))
+let jbool k v = Option.get (Jsonv.bool_ (jmem k v))
+let jarr k v = Option.get (Jsonv.arr (jmem k v))
+
+(* One-shot HTTP scrape through a fresh connection wired to the
+   introspection handler, returning the parsed body. *)
+let scrape daemon intro path =
+  let conn = Conn.create ~http:(Introspect.handler intro) daemon in
+  Conn.on_bytes conn (Printf.sprintf "GET %s HTTP/1.0\r\n\r\n" path);
+  let out = Conn.drain_output conn in
+  check (path ^ " answers 200") true
+    (String.length out > 15 && String.sub out 0 15 = "HTTP/1.0 200 OK");
+  check (path ^ " is JSON") true
+    (find_sub out "Content-Type: application/json" <> None);
+  match find_sub out "\r\n\r\n" with
+  | None -> Alcotest.fail "no header/body separator"
+  | Some i -> parse_json (String.sub out (i + 4) (String.length out - i - 4))
+
+let test_status_schema () =
+  let daemon = mk_daemon () in
+  let intro = Introspect.create ~version:"test" daemon in
+  let stream = Conn.create ~listener:"unix" daemon in
+  Conn.on_bytes stream "t1 0\nt1 1\nt2 1\n";
+  Introspect.set_conns intro (fun () ->
+      [ Introspect.conn_info_of_conn stream ]);
+  let eng = Daemon.engine daemon in
+  (* /status *)
+  let v = scrape daemon intro "/status" in
+  check_str "schema" "sl-status/1" (jstr "schema" v);
+  check_str "type" "status" (jstr "type" v);
+  check_str "version" "test" (jstr "version" v);
+  check "uptime non-negative" true
+    (Option.get (Jsonv.num (jmem "uptime_s" v)) >= 0.);
+  check_int "traces" 2 (jint "traces" v);
+  check_int "events" 3 (jint "events" v);
+  check_int "live" (Engine.live eng) (jint "live" v);
+  check_int "tripped" (Engine.tripped eng) (jint "tripped" v);
+  check_int "retired" (Engine.retired_admissible eng)
+    (jint "retired_admissible" v);
+  (match jarr "connections" v with
+  | [ c ] ->
+      check_str "conn listener" "unix" (jstr "listener" c);
+      check_str "conn mode" "lines" (jstr "mode" c);
+      check_int "conn events" 3 (jint "events" c);
+      check "conn not stalled" false (jbool "stalled" c)
+  | l -> Alcotest.failf "expected one connection row, got %d" (List.length l));
+  check_int "no reloads yet" 0 (jint "count" (jmem "reloads" v));
+  Introspect.note_reload intro ~ok:true ~detail:"test \"reload\"";
+  let v = scrape daemon intro "/status" in
+  check_int "reload counted" 1 (jint "count" (jmem "reloads" v));
+  (* /healthz *)
+  let h = scrape daemon intro "/healthz" in
+  check_str "healthz schema" "sl-status/1" (jstr "schema" h);
+  check_str "healthz ok" "ok" (jstr "status" h);
+  (* /traces *)
+  let t = scrape daemon intro "/traces" in
+  check_int "traces total" 2 (jint "total" t);
+  check "not truncated" false (jbool "truncated" t);
+  (match jarr "traces" t with
+  | [ t1; t2 ] ->
+      check_str "first trace name" "t1" (jstr "name" t1);
+      check_int "first trace events" 2 (jint "events" t1);
+      check_str "second trace name" "t2" (jstr "name" t2);
+      check_int "second trace events" 1 (jint "events" t2)
+  | l -> Alcotest.failf "expected two trace rows, got %d" (List.length l))
+
+(* /monitors gives the exact per-monitor verdict census: summed over
+   monitors it must reproduce the engine's global counters, and every
+   row carries the stable canonical-key hash. *)
+let test_monitors_census () =
+  let daemon = mk_daemon () in
+  let intro = Introspect.create ~version:"test" daemon in
+  let stream = Conn.create daemon in
+  Conn.on_bytes stream "a 0\nb 1\na 1\nb 0\na 0\n";
+  let eng = Daemon.engine daemon in
+  let v = scrape daemon intro "/monitors" in
+  check_str "schema" "sl-status/1" (jstr "schema" v);
+  check_str "type" "monitors" (jstr "type" v);
+  let rows = jarr "monitors" v in
+  check_int "one row per distinct monitor"
+    (Registry.nmonitors (Daemon.registry daemon))
+    (List.length rows);
+  let sum f = List.fold_left (fun acc r -> acc + f r) 0 rows in
+  check_int "live sums to the engine counter" (Engine.live eng)
+    (sum (jint "live"));
+  check_int "tripped sums to the engine counter" (Engine.tripped eng)
+    (sum (jint "tripped"));
+  check_int "retired sums to the engine counter"
+    (Engine.retired_admissible eng)
+    (sum (jint "retired_admissible"));
+  List.iter
+    (fun r ->
+      check "key is a 16-hex-digit hash" true
+        (String.length (jstr "key" r) = 16);
+      check "row names at least one prop" true (jarr "props" r <> []))
+    rows;
+  (* the census is the trace table, so it tracks later events *)
+  Conn.on_bytes stream "c 1\n";
+  let v2 = scrape daemon intro "/monitors" in
+  check_int "census follows the stream" (Engine.tripped eng)
+    (List.fold_left
+       (fun acc r -> acc + jint "tripped" r)
+       0 (jarr "monitors" v2))
+
+(* Scraping /metrics and /status mid-stream — including against a
+   back-pressured connection — must succeed and must not disturb the
+   served verdicts. *)
+let test_concurrent_scrape_backpressure () =
+  let events =
+    List.init 40 (fun i -> (Printf.sprintf "t%d" i, 1))
+  in
+  let daemon = mk_daemon () in
+  let intro = Introspect.create ~version:"test" daemon in
+  let stream = Conn.create ~hwm:256 daemon in
+  Introspect.set_conns intro (fun () ->
+      [ Introspect.conn_info_of_conn stream ]);
+  Conn.on_bytes stream (render_lines events);
+  check "stream is back-pressured" true (not (Conn.wants_read stream));
+  (* both scrape paths answer while the stream is stalled *)
+  let m = Conn.create ~http:(Introspect.handler intro) daemon in
+  Conn.on_bytes m "GET /metrics HTTP/1.0\r\n\r\n";
+  let mout = Conn.drain_output m in
+  check "metrics 200 under back-pressure" true
+    (String.sub mout 0 15 = "HTTP/1.0 200 OK");
+  let v = scrape daemon intro "/status" in
+  (match jarr "connections" v with
+  | [ c ] ->
+      check "status reports the stall" true (jbool "stalled" c);
+      check "pending output visible" true (jint "pending_out" c > 0)
+  | l -> Alcotest.failf "expected one connection row, got %d" (List.length l));
+  (* drain and finish: verdicts as if nobody ever scraped *)
+  ignore (Conn.drain_output stream);
+  check "drained stream reads again" true (Conn.wants_read stream);
+  Conn.on_eof stream;
+  let out = Conn.drain_output stream in
+  check "verdicts unchanged by scraping" true
+    (SS.equal (offline_tuples ~jobs:1 events) (served_tuples out))
+
+(* Telemetry on, jobs 1 and 4: the served byte stream is identical to
+   the dark-kernel stream, and both equal the offline report. *)
+let test_obs_enabled_serve_identical () =
+  let events =
+    [ ("t1", 0); ("t2", 1); ("t1", 1); ("t3", 0); ("t2", 0); ("t3", 1) ]
+  in
+  let bytes = render_lines events in
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.disable ();
+      Obs.reset ())
+    (fun () ->
+      List.iter
+        (fun jobs ->
+          Obs.disable ();
+          let _, dark = serve_split ~jobs ~splits:[ 7; 13 ] bytes in
+          Obs.enable ();
+          let _, lit = serve_split ~jobs ~splits:[ 7; 13 ] bytes in
+          Obs.disable ();
+          check_str
+            (Printf.sprintf "obs-on output byte-identical at jobs %d" jobs)
+            dark lit;
+          check "and equal to offline" true
+            (SS.equal (offline_tuples ~jobs events) (served_tuples lit)))
+        [ 1; 4 ])
+
+(* {2 Jsonv} *)
+
+let test_jsonv () =
+  (match Jsonv.parse "{\"a\": [1, -2.5e1, true, null, \"x\\u00e9\\n\"], \"b\": {\"c\": \"\"}}" with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok v ->
+      (match Option.get (Jsonv.arr (jmem "a" v)) with
+      | [ one; neg; t; nul; s ] ->
+          check_int "int" 1 (Option.get (Jsonv.int_ one));
+          check "exponent" true (Jsonv.num neg = Some (-25.));
+          check "bool" true (Jsonv.bool_ t = Some true);
+          check "null" true (nul = Jsonv.Null);
+          (* é is é = 0xC3 0xA9 in UTF-8 *)
+          check_str "string escapes" "x\xc3\xa9\n" (Option.get (Jsonv.str s))
+      | _ -> Alcotest.fail "wrong array shape");
+      check_str "nested member" ""
+        (Option.get (Jsonv.str (jmem "c" (jmem "b" v)))));
+  check "trailing bytes rejected" true
+    (match Jsonv.parse "{} x" with Error _ -> true | Ok _ -> false);
+  check "truncated input rejected" true
+    (match Jsonv.parse "{\"a\": [1," with Error _ -> true | Ok _ -> false);
+  (* every endpoint body round-trips through the parser *)
+  let daemon = mk_daemon () in
+  let intro = Introspect.create ~version:"test" daemon in
+  List.iter
+    (fun path -> ignore (scrape daemon intro path))
+    [ "/status"; "/monitors"; "/traces"; "/healthz" ]
+
 (* {2 Records} *)
 
 let test_record_escaping () =
@@ -502,5 +707,13 @@ let tests =
       test_reload_from_props_file;
     Alcotest.test_case "reload at every chunk boundary" `Quick
       test_reload_at_every_chunk;
+    Alcotest.test_case "/status and /healthz schema" `Quick
+      test_status_schema;
+    Alcotest.test_case "/monitors exact census" `Quick test_monitors_census;
+    Alcotest.test_case "concurrent scrape under back-pressure" `Quick
+      test_concurrent_scrape_backpressure;
+    Alcotest.test_case "obs-enabled serving byte-identical" `Quick
+      test_obs_enabled_serve_identical;
+    Alcotest.test_case "jsonv parser" `Quick test_jsonv;
     Alcotest.test_case "record escaping" `Quick test_record_escaping;
   ]
