@@ -4,7 +4,7 @@
      dune exec bench/main.exe              # all artifacts + all timings
      dune exec bench/main.exe ARTIFACT     # one artifact, no timings
      dune exec bench/main.exe bench        # timings only
-     dune exec bench/main.exe bench json   # timings -> BENCH_PR9.json
+     dune exec bench/main.exe bench json   # timings -> BENCH_PR10.json
 
    Artifacts (the paper's figures/tables, regenerated from scratch; see
    EXPERIMENTS.md for the mapping): fig1 fig2 rem ctl rabin
@@ -23,9 +23,11 @@
    write, restore, and resuming the stream from its midpoint snapshot
    vs replaying it cold; the SERVE group times the daemon's connection
    path (parse + intern + feed + render, no sockets) at 1 and 4
-   multiplexed clients and both hot-reload commit paths.
+   multiplexed clients and both hot-reload commit paths; the INGEST
+   group times the parse stage alone — the zero-copy scanner against
+   the retained reference parser on the same 10k-line stream.
 
-   [bench json] additionally writes the estimates to BENCH_PR9.json
+   [bench json] additionally writes the estimates to BENCH_PR10.json
    together with automaton-size counters, speedups against the seed,
    ratios against the most recent tracked BENCH_PR*.json for every bench
    name the two runs share, the parallel scaling curves, the cold/warm
@@ -735,6 +737,42 @@ let make_tests () =
              Sl_serve.Conn.on_eof c;
              ignore (Sl_serve.Conn.drain_output c);
              Sl_obs.Obs.disable ()) ]);
+      (* INGEST: the parse stage in isolation on the same pre-rendered
+         10k-line stream the SERVE group feeds — the zero-copy scanner
+         (in-place line walk, slice-hash interning, strict decimal digit
+         loop) against the retained reference parser (a string per line
+         and per field, the seed's ingest shape). The reference pulls
+         lines out of the blob with index/sub, an honest stand-in for
+         [input_line]'s allocation profile without channel syscalls. *)
+      (let blob = Lazy.force serve_blob_all in
+       let sink = ref 0 in
+       [ t "ingest/scan-10k" (fun () ->
+             let ing = Sl_runtime.Ingest.create () in
+             let sc =
+               Sl_runtime.Ingest.scanner ~alphabet:2 ing
+                 ~on_chunk:(fun c -> sink := !sink + c.Sl_runtime.Ingest.len)
+                 ~on_error:(fun _ -> ())
+             in
+             Sl_runtime.Ingest.scan_string sc blob 0 (String.length blob);
+             Sl_runtime.Ingest.scan_eof sc);
+         t "ingest/parse-ref-10k" (fun () ->
+             let ing = Sl_runtime.Ingest.create () in
+             let pos = ref 0 in
+             let next_line () =
+               if !pos >= String.length blob then None
+               else begin
+                 let j =
+                   try String.index_from blob !pos '\n'
+                   with Not_found -> String.length blob
+                 in
+                 let line = String.sub blob !pos (j - !pos) in
+                 pos := j + 1;
+                 Some line
+               end
+             in
+             Sl_runtime.Ingest.read ~alphabet:2 ing ~next_line
+               ~on_chunk:(fun c -> sink := !sink + c.Sl_runtime.Ingest.len)
+               ~on_error:(fun _ -> ())) ]);
       (* OBS-LABELS: enabled-mode recording cost, flat vs labeled child
          (amortized over 1k bumps so the enable/disable bracket is
          noise); the interning lookup the epilogues pay per child; and
@@ -853,7 +891,10 @@ let seedref_pairs =
     ("buchi/rank-complement-3", "buchi/rank-complement-3-seedref");
     (* The naive fleet loop is the seed-style per-event monitoring the
        streaming engine replaces, re-measured live on the same inputs. *)
-    ("monitor/engine-100x10k", "monitor/naive-100x10k") ]
+    ("monitor/engine-100x10k", "monitor/naive-100x10k");
+    (* The reference line parser is the ingest shape every PR before 10
+       ran, re-measured live on the same 10k-line stream. *)
+    ("ingest/scan-10k", "ingest/parse-ref-10k") ]
 
 (* Automaton-size counters for the microbench inputs: they document what
    the timings mean (how many states each construction materializes) and
@@ -940,8 +981,8 @@ let read_prev_results path =
    still gets a baseline instead of an empty section. The chosen file is
    recorded in the output as "baseline_file" (null when none found). *)
 let baseline_chain =
-  [ "BENCH_PR8.json"; "BENCH_PR7.json"; "BENCH_PR6.json"; "BENCH_PR5.json"; "BENCH_PR4.json";
-    "BENCH_PR3.json"; "BENCH_PR2.json"; "BENCH_PR1.json" ]
+  [ "BENCH_PR9.json"; "BENCH_PR8.json"; "BENCH_PR7.json"; "BENCH_PR6.json"; "BENCH_PR5.json";
+    "BENCH_PR4.json"; "BENCH_PR3.json"; "BENCH_PR2.json"; "BENCH_PR1.json" ]
 
 let read_baseline () =
   List.find_map
@@ -1048,7 +1089,7 @@ let run_benchmarks_json ~path =
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
   p "  \"schema\": \"sl-bench-trajectory/1\",\n";
-  p "  \"pr\": \"PR9\",\n";
+  p "  \"pr\": \"PR10\",\n";
   p "  \"config\": {\"quota_s\": 0.25, \"limit\": 1000, \"estimator\": \"ols\"},\n";
   p "  \"cores\": %d,\n" (Domain.recommended_domain_count ());
   p "  \"results\": [\n";
@@ -1083,7 +1124,7 @@ let run_benchmarks_json ~path =
     (match baseline with
     | Some (path, _) -> Printf.sprintf "\"%s\"" (json_escape path)
     | None -> "null");
-  p "  \"speedups_vs_pr8\": [\n";
+  p "  \"speedups_vs_pr9\": [\n";
   List.iteri
     (fun i (name, ns, base, ratio) ->
       p
@@ -1136,6 +1177,22 @@ let run_benchmarks_json ~path =
     (match (resume, cold) with
     | Some r, Some c when r > 0.0 -> Printf.sprintf "%.2f" (c /. r)
     | _ -> "null");
+  (* The ingest parse stage: the zero-copy scanner against the retained
+     reference parser on the same 10k-line stream — the PR 10 acceptance
+     pair (the scanner must be >= 2x the reference). *)
+  let ingest_scan = lookup "ingest/scan-10k" in
+  let ingest_ref = lookup "ingest/parse-ref-10k" in
+  let events_per_s = function
+    | Some ns when ns > 0.0 -> Printf.sprintf "%.0f" (1e9 *. 10_000.0 /. ns)
+    | _ -> "null"
+  in
+  p "  \"ingest\": {\"scan_10k_ns\": %s, \"parse_ref_10k_ns\": %s, \
+     \"parse_speedup\": %s, \"events_per_s_scan\": %s},\n"
+    (num ingest_scan) (num ingest_ref)
+    (match (ingest_scan, ingest_ref) with
+    | Some s, Some r when s > 0.0 -> Printf.sprintf "%.2f" (r /. s)
+    | _ -> "null")
+    (events_per_s ingest_scan);
   (* The serving path: events/s through the connection state machine at
      1 and 4 multiplexed clients, and the latency of committing a hot
      reload on the midpoint session (identical registry = snapshot
@@ -1144,10 +1201,6 @@ let run_benchmarks_json ~path =
   let serve4 = lookup "serve/conn-feed-10k-4conn" in
   let reload_id = lookup "serve/reload-identical-100p" in
   let reload_co = lookup "serve/reload-carryover-101p" in
-  let events_per_s = function
-    | Some ns when ns > 0.0 -> Printf.sprintf "%.0f" (1e9 *. 10_000.0 /. ns)
-    | _ -> "null"
-  in
   p "  \"serve\": {\"feed_10k_1conn_ns\": %s, \"feed_10k_4conn_ns\": %s, \
      \"events_per_s_1conn\": %s, \"events_per_s_4conn\": %s, \
      \"reload_identical_ns\": %s, \"reload_carryover_ns\": %s},\n"
@@ -1204,7 +1257,7 @@ let () =
       List.iter (fun (_, f) -> f ()) artifacts;
       run_benchmarks ()
   | [ "bench" ] -> run_benchmarks ()
-  | [ "bench"; "json" ] -> run_benchmarks_json ~path:"BENCH_PR9.json"
+  | [ "bench"; "json" ] -> run_benchmarks_json ~path:"BENCH_PR10.json"
   | [ "bench"; "json"; path ] -> run_benchmarks_json ~path
   | names ->
       List.iter

@@ -383,7 +383,9 @@ let monitor_stream ~props_file ~trace_file ~json ~snapshot ~snapshot_every
     let t0 = Sys.time () in
     match
       Fun.protect ~finally:close (fun () ->
-          Ingest.read_channel ~alphabet ingest ic
+          (* block reads + the zero-copy scanner; byte-identical
+             events/errors/interning to [read_channel] *)
+          Ingest.scan_channel ~alphabet ingest ic
             ~on_chunk:(fun c ->
               Engine.feed engine ~n:c.Ingest.len ~traces:c.Ingest.trace_ids
                 ~symbols:c.Ingest.symbols ();

@@ -88,6 +88,14 @@ type plan = {
   alphabet : int;
   nvacuous : int;
   npretripped : int;
+  (* Fused transition megatable (see [Packed_dfa.fuse]): all monitors'
+     rows in one contiguous array, entries packing successor +
+     can_trip/accepting bits, with per-monitor base offsets. The step
+     loops walk only these two arrays; [monitors] stays the canonical
+     per-monitor view (keys, state counts) for the session codec,
+     reload carry-over and telemetry. *)
+  mega : int array;
+  mbase : int array;
 }
 
 type t = {
@@ -139,7 +147,9 @@ let plan_of_monitors monitors =
       if pd.Packed_dfa.vacuous then incr nvacuous;
       if pd.Packed_dfa.pre_tripped then incr npretripped)
     monitors;
-  { monitors; alphabet; nvacuous = !nvacuous; npretripped = !npretripped }
+  let mega, mbase = Packed_dfa.fuse monitors in
+  { monitors; alphabet; nvacuous = !nvacuous; npretripped = !npretripped;
+    mega; mbase }
 
 let of_plan ?jobs ?(threshold = 65536) plan =
   let jobs =
@@ -231,11 +241,14 @@ let get_trace eng id =
       tr
 
 (* The per-event hot path: step every live monitor of the trace through
-   the packed table; trip (and retire) on a rejecting state, retire as
-   admissible-forever when no rejecting state is reachable anymore.
-   Retirement is a swap-remove on the compact live list — no allocation
-   anywhere on this path ([fire] closes over nothing when the hook is
-   [None]: one comparison per retirement, never per event). *)
+   the fused megatable; trip (and retire) on a rejecting state, retire
+   as admissible-forever when no rejecting state is reachable anymore.
+   A megatable entry packs the successor with its accepting/can_trip
+   bits, so the verdict decision is one array read per live monitor —
+   no per-monitor record dereference. Retirement is a swap-remove on
+   the compact live list — no allocation anywhere on this path ([fire]
+   closes over nothing when the hook is [None]: one comparison per
+   retirement, never per event). *)
 let fire eng ~trace ~monitor ~position ~tripped =
   match eng.hook with
   | None -> ()
@@ -244,16 +257,20 @@ let fire eng ~trace ~monitor ~position ~tripped =
 let step_trace eng ~id (tr : trace) symbol =
   tr.events <- tr.events + 1;
   eng.events <- eng.events + 1;
-  let monitors = eng.plan.monitors in
+  let mega = eng.plan.mega in
+  let mbase = eng.plan.mbase in
+  let alphabet = eng.plan.alphabet in
   let i = ref 0 in
   while !i < tr.nlive do
     let m = Array.unsafe_get tr.live !i in
-    let pd = Array.unsafe_get monitors m in
-    let s' =
-      Array.unsafe_get pd.Packed_dfa.trans
-        ((Array.unsafe_get tr.states m * pd.Packed_dfa.alphabet) + symbol)
+    let e =
+      Array.unsafe_get mega
+        (Array.unsafe_get mbase m
+        + (Array.unsafe_get tr.states m * alphabet)
+        + symbol)
     in
-    if not (Array.unsafe_get pd.Packed_dfa.accepting s') then begin
+    if e land 1 = 0 then begin
+      (* rejecting successor: trip *)
       Array.unsafe_set tr.tripped_at m tr.events;
       eng.tripped <- eng.tripped + 1;
       eng.mtrips.(m) <- eng.mtrips.(m) + 1;
@@ -262,8 +279,8 @@ let step_trace eng ~id (tr : trace) symbol =
       fire eng ~trace:id ~monitor:m ~position:tr.events ~tripped:true
     end
     else begin
-      Array.unsafe_set tr.states m s';
-      if Array.unsafe_get pd.Packed_dfa.can_trip s' then incr i
+      Array.unsafe_set tr.states m (e lsr 2);
+      if e land 2 <> 0 then incr i
       else begin
         eng.retired_ok <- eng.retired_ok + 1;
         eng.mretires.(m) <- eng.mretires.(m) + 1;
@@ -301,18 +318,22 @@ let rvec_push v ~trace ~monitor ~position ~tripped =
    not touch; retirements go into the shard's [rvec] (when a hook is
    installed) for post-join replay. Per-trace state needs no such care
    — each trace belongs to exactly one shard. *)
-let step_trace_sharded monitors ~id (tr : trace) symbol ~tripped ~retired
+let step_trace_sharded plan ~id (tr : trace) symbol ~tripped ~retired
     ~mcounts ~nmon ~rvec =
   tr.events <- tr.events + 1;
+  let mega = plan.mega in
+  let mbase = plan.mbase in
+  let alphabet = plan.alphabet in
   let i = ref 0 in
   while !i < tr.nlive do
     let m = Array.unsafe_get tr.live !i in
-    let pd = Array.unsafe_get monitors m in
-    let s' =
-      Array.unsafe_get pd.Packed_dfa.trans
-        ((Array.unsafe_get tr.states m * pd.Packed_dfa.alphabet) + symbol)
+    let e =
+      Array.unsafe_get mega
+        (Array.unsafe_get mbase m
+        + (Array.unsafe_get tr.states m * alphabet)
+        + symbol)
     in
-    if not (Array.unsafe_get pd.Packed_dfa.accepting s') then begin
+    if e land 1 = 0 then begin
       Array.unsafe_set tr.tripped_at m tr.events;
       incr tripped;
       mcounts.(m) <- mcounts.(m) + 1;
@@ -324,8 +345,8 @@ let step_trace_sharded monitors ~id (tr : trace) symbol ~tripped ~retired
           rvec_push v ~trace:id ~monitor:m ~position:tr.events ~tripped:true)
     end
     else begin
-      Array.unsafe_set tr.states m s';
-      if Array.unsafe_get pd.Packed_dfa.can_trip s' then incr i
+      Array.unsafe_set tr.states m (e lsr 2);
+      if e land 2 <> 0 then incr i
       else begin
         incr retired;
         mcounts.(nmon + m) <- mcounts.(nmon + m) + 1;
@@ -460,7 +481,7 @@ let feed_parallel eng ~off ~n ~traces ~symbols =
         if id mod jobs = shard then
           match Array.unsafe_get engine_traces id with
           | Some tr ->
-              step_trace_sharded eng.plan.monitors ~id tr
+              step_trace_sharded eng.plan ~id tr
                 (Array.unsafe_get symbols k) ~tripped ~retired ~mcounts ~nmon
                 ~rvec
           | None -> ()

@@ -21,11 +21,17 @@ type verdict =
 type t
 
 type plan
-(** The immutable compiled plan: monitors, alphabet, and the derived
-    vacuous/pre-tripped census. A pure function of the registry's
-    compiled monitors — shareable across engines and never mutated by a
-    run, which is what lets the session layer snapshot only the mutable
-    run state and re-attach it to a plan recompiled elsewhere. *)
+(** The immutable compiled plan: monitors, alphabet, the derived
+    vacuous/pre-tripped census, and the fused transition megatable
+    ({!Packed_dfa.fuse}) the step loops walk — one contiguous array
+    with per-monitor base offsets, so the per-event inner loop reads a
+    single cache-friendly table instead of chasing M monitor records.
+    A pure function of the registry's compiled monitors — shareable
+    across engines and never mutated by a run, which is what lets the
+    session layer snapshot only the mutable run state and re-attach it
+    to a plan recompiled elsewhere; per-trace states, the session
+    codec, and reload carry-over keep indexing monitors by their
+    unchanged canonical keys. *)
 
 val plan_of_monitors : Packed_dfa.t array -> plan
 (** All monitors must share an alphabet (the registry guarantees this).

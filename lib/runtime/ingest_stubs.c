@@ -1,0 +1,24 @@
+/* C stubs for the hot ingest scanner.
+ *
+ * sl_ingest_memchr_nl: index of the first '\n' in s[off, stop), or -1.
+ * memchr is word-at-a-time (typically SIMD) where the OCaml
+ * byte-at-a-time loop is not, and line splitting is the outermost pass
+ * of the scan path — every ingested byte goes through it once.
+ *
+ * [@@noalloc] on the OCaml side: no allocation, no callbacks, no
+ * exceptions — safe to call without the GC bracket.
+ */
+
+#include <caml/mlvalues.h>
+#include <string.h>
+
+CAMLprim value sl_ingest_memchr_nl(value vs, value voff, value vstop)
+{
+  long off = Long_val(voff);
+  long stop = Long_val(vstop);
+  const char *s = String_val(vs);
+  const char *p;
+  if (off >= stop) return Val_long(-1);
+  p = (const char *)memchr(s + off, '\n', (size_t)(stop - off));
+  return Val_long(p ? (long)(p - s) : -1);
+}

@@ -118,6 +118,35 @@ let is_accepting pd q = pd.accepting.(q)
 let can_trip pd q = pd.can_trip.(q)
 let key pd = pd.key
 
+(* Fused megatable: every monitor's transition rows concatenated into
+   one contiguous array, each entry carrying the successor together
+   with its verdict-relevant bits — [(s' lsl 2) lor (can_trip(s') lsl
+   1) lor accepting(s')]. The engine's inner loop then decides
+   trip/continue/retire from a single array read per live monitor
+   instead of three reads through a per-monitor record. Callers must
+   pass a uniform-alphabet array (the registry guarantees it). *)
+let fuse_entry pd s' =
+  (s' lsl 2)
+  lor (if pd.can_trip.(s') then 2 else 0)
+  lor (if pd.accepting.(s') then 1 else 0)
+
+let fuse monitors =
+  let base = Array.make (max (Array.length monitors) 1) 0 in
+  let total = ref 0 in
+  Array.iteri
+    (fun m pd ->
+      base.(m) <- !total;
+      total := !total + Array.length pd.trans)
+    monitors;
+  let mega = Array.make (max !total 1) 0 in
+  Array.iteri
+    (fun m pd ->
+      Array.iteri
+        (fun k s' -> mega.(base.(m) + k) <- fuse_entry pd s')
+        pd.trans)
+    monitors;
+  (mega, base)
+
 (* Serialization: only the three defining fields (plus the canonical
    key, for cheap identity checks without decoding the arrays) go to
    disk; [can_trip]/[pre_tripped]/[vacuous] are rederived on decode, so

@@ -47,6 +47,15 @@ val can_trip : t -> int -> bool
 val key : t -> string
 val pp : Format.formatter -> t -> unit
 
+val fuse : t array -> int array * int array
+(** [fuse monitors] is [(mega, base)]: every monitor's transition rows
+    concatenated into one contiguous array, with monitor [m]'s rows
+    starting at [base.(m)]. The entry at [base.(m) + q * alphabet + s]
+    is [(s' lsl 2) lor (can_trip lsl 1) lor accepting] for [s' = step
+    monitors.(m) q s] — successor and verdict bits in one read, the
+    layout the engine's inner loop walks. All monitors must share an
+    alphabet. *)
+
 (** {1 Serialization}
 
     Packed monitors round-trip through the [sl-artifact/1] format (see

@@ -4,7 +4,7 @@ module Obs = Sl_obs.Obs
 (* Pipeline-stage timing (socket path): the parse stage is the time
    [on_bytes] spends splitting lines and batching events, minus the
    nested engine-feed time — observed once per [on_bytes] call, never
-   per line. The same family is recorded by [Ingest.read] offline. *)
+   per line. The same family is recorded by [Ingest] offline. *)
 let h_stage_parse =
   Obs.Metrics.histogram
     ~help:"Pipeline stage: line parse/accumulate latency per chunk"
@@ -29,6 +29,14 @@ type mode =
   | Http  (* one-shot GET answered, ignoring further input *)
   | Done  (* EOF seen, draining *)
 
+(* Records rendered while processing one read accumulate in the
+   connection's scratch buffer and reach the output queue as a single
+   coalesced slab — one queue entry and one string per read (or per
+   [slab_cap] bytes within a pathological read) instead of one per
+   record. The scratch is always empty at the public API boundary, so
+   [pending_output]/[should_close]/[stalled] see every rendered byte. *)
+let slab_cap = 65536
+
 type t = {
   id : int;  (* process-unique, for the /status connection table *)
   daemon : Daemon.t;
@@ -37,6 +45,7 @@ type t = {
   listener : string;  (* "unix" | "tcp" | "local" (tests) *)
   http_handler : (string -> (string * string * string) option) option;
   buf : Buffer.t;  (* at most one partial line *)
+  scratch : Buffer.t;  (* records of the read being processed *)
   mutable oversized : bool;  (* discarding until the next newline *)
   mutable nlines : int;
   mutable mode : mode;
@@ -58,6 +67,12 @@ let enqueue c s =
   Queue.push s c.outq;
   c.out_bytes <- c.out_bytes + String.length s
 
+let flush_slab c =
+  if Buffer.length c.scratch > 0 then begin
+    enqueue c (Buffer.contents c.scratch);
+    Buffer.clear c.scratch
+  end
+
 let next_id = ref 0
 
 let create ?(max_line = 65536) ?(hwm = 262144) ?(listener = "local") ?http
@@ -73,6 +88,7 @@ let create ?(max_line = 65536) ?(hwm = 262144) ?(listener = "local") ?http
       listener;
       http_handler = http;
       buf = Buffer.create 256;
+      scratch = Buffer.create 4096;
       oversized = false;
       nlines = 0;
       mode = Lines;
@@ -99,31 +115,33 @@ let greet c =
   if not c.greeted then begin
     c.greeted <- true;
     let registry = Daemon.registry c.daemon in
-    enqueue c
-      (Records.hello ~version:"1.0.0"
-         ~props:(Registry.nprops registry)
-         ~monitors:(Registry.nmonitors registry)
-         ~fingerprint:(Registry.fingerprint registry))
+    Records.add_hello c.scratch ~version:"1.0.0"
+      ~props:(Registry.nprops registry)
+      ~monitors:(Registry.nmonitors registry)
+      ~fingerprint:(Registry.fingerprint registry)
   end
 
 let report c ~trace reason =
   c.conn_errors <- c.conn_errors + 1;
   Obs.Metrics.incr c.err_child;
-  enqueue c (Records.error ~line:c.nlines ~trace ~reason)
+  Records.add_error c.scratch ~line:c.nlines ~trace ~reason
 
 let flush_chunk c =
   if c.chunk.Ingest.len > 0 then begin
     (if Obs.is_enabled () then begin
        let t0 = Obs.Clock.now_us () in
-       Daemon.feed c.daemon ~sink:(enqueue c) c.chunk;
+       Daemon.feed c.daemon ~buf:c.scratch c.chunk;
        c.feed_us <- c.feed_us +. (Obs.Clock.now_us () -. t0);
        Obs.Metrics.add c.ev_child c.chunk.Ingest.len
      end
-     else Daemon.feed c.daemon ~sink:(enqueue c) c.chunk);
+     else Daemon.feed c.daemon ~buf:c.scratch c.chunk);
     c.chunk.Ingest.len <- 0
   end
 
 let http c line =
+  (* records already rendered (the EOF-path greeting) must reach the
+     queue before the HTTP reply, which bypasses the scratch *)
+  flush_slab c;
   c.mode <- Http;
   c.draining <- true;
   let path =
@@ -145,62 +163,70 @@ let http c line =
         close\r\n\r\n%s"
        status ctype (String.length body) body)
 
-let process_line c line =
-  if c.nlines = 1 && String.length line >= 4 && String.sub line 0 4 = "GET "
-  then http c line
+(* One complete protocol line as a slice of the transport block —
+   scanned in place by [Ingest.scan_event] (the allocation-free fast
+   path); blank/comment/malformed lines fall back to [Ingest.scan_line]
+   for the exact skip/error result. *)
+let process_slice c s off len =
+  if
+    c.nlines = 1 && len >= 4
+    && String.unsafe_get s off = 'G'
+    && String.unsafe_get s (off + 1) = 'E'
+    && String.unsafe_get s (off + 2) = 'T'
+    && String.unsafe_get s (off + 3) = ' '
+  then http c (String.sub s off len)
   else begin
     greet c;
-    match Ingest.parse_line line with
-    | `Skip -> ()
-    | `Malformed (trace, reason) -> report c ~trace reason
-    | `Event (trace, symbol) ->
-        let alphabet = Daemon.alphabet c.daemon in
-        if symbol >= alphabet then
-          report c ~trace:(Some trace)
-            (Printf.sprintf "symbol %d outside alphabet [0, %d)" symbol
-               alphabet)
-        else begin
-          let id = Ingest.intern (Daemon.ingest c.daemon) trace in
-          Hashtbl.replace c.touched id ();
-          c.chunk.Ingest.trace_ids.(c.chunk.Ingest.len) <- id;
-          c.chunk.Ingest.symbols.(c.chunk.Ingest.len) <- symbol;
-          c.chunk.Ingest.len <- c.chunk.Ingest.len + 1;
-          c.conn_events <- c.conn_events + 1;
-          if c.chunk.Ingest.len = Array.length c.chunk.Ingest.trace_ids then
-            flush_chunk c
-        end
+    let ingest = Daemon.ingest c.daemon in
+    let alphabet = Daemon.alphabet c.daemon in
+    let push id symbol =
+      Hashtbl.replace c.touched id ();
+      c.chunk.Ingest.trace_ids.(c.chunk.Ingest.len) <- id;
+      c.chunk.Ingest.symbols.(c.chunk.Ingest.len) <- symbol;
+      c.chunk.Ingest.len <- c.chunk.Ingest.len + 1;
+      c.conn_events <- c.conn_events + 1;
+      if c.chunk.Ingest.len = Array.length c.chunk.Ingest.trace_ids then begin
+        flush_chunk c;
+        if Buffer.length c.scratch >= slab_cap then flush_slab c
+      end
+    in
+    let id = Ingest.scan_event ingest ~alphabet s off len in
+    if id >= 0 then push id (Ingest.scanned_symbol ingest)
+    else
+      match Ingest.scan_line ingest ~alphabet s off len with
+      | `Skip -> ()
+      | `Error (trace, reason) -> report c ~trace reason
+      | `Event (id, symbol) ->
+          (* unreachable: [scan_event] accepts every event line *)
+          push id symbol
   end
 
-(* A complete line arrived: the partial buffer plus [seg]. *)
-let complete_line c seg =
+(* A complete line arrived: the partial buffer plus the slice. *)
+let complete_slice c s off len =
   c.nlines <- c.nlines + 1;
   if c.oversized then begin
     (* tail of a line already reported over-length — resynchronize *)
     c.oversized <- false;
     Buffer.clear c.buf
   end
-  else if Buffer.length c.buf + String.length seg > c.max_line then begin
+  else if Buffer.length c.buf + len > c.max_line then begin
     Buffer.clear c.buf;
     report c ~trace:None
       (Printf.sprintf "line exceeds %d bytes (skipped)" c.max_line)
   end
+  else if Buffer.length c.buf = 0 then process_slice c s off len
   else begin
-    let line =
-      if Buffer.length c.buf = 0 then seg
-      else begin
-        Buffer.add_string c.buf seg;
-        let l = Buffer.contents c.buf in
-        Buffer.clear c.buf;
-        l
-      end
-    in
-    process_line c line
+    (* line split across reads: materialize once and re-scan *)
+    Buffer.add_substring c.buf s off len;
+    let line = Buffer.contents c.buf in
+    Buffer.clear c.buf;
+    process_slice c line 0 (String.length line)
   end
 
 (* A partial line (no newline yet): buffer, or tip over the cap. *)
-let partial_line c seg =
+let partial_slice c s off len =
   if not c.oversized then begin
-    if Buffer.length c.buf + String.length seg > c.max_line then begin
+    if Buffer.length c.buf + len > c.max_line then begin
       c.oversized <- true;
       Buffer.clear c.buf;
       c.nlines <- c.nlines + 1;
@@ -209,32 +235,51 @@ let partial_line c seg =
       (* the count stays on this line while we discard its tail *)
       c.nlines <- c.nlines - 1
     end
-    else Buffer.add_string c.buf seg
+    else Buffer.add_substring c.buf s off len
   end
 
-let on_bytes c s =
+(* The core loop over one transport block [s.[off, off+len)]. The
+   newline scan is [Ingest.find_newline] (C memchr) bounded by [stop] —
+   the block may be a view of a reusable read buffer whose bytes beyond
+   [len] are stale, where [String.index_from_opt] could find a newline
+   from a previous read. *)
+let on_bytes_str c s off len =
   if c.mode = Lines then begin
     let enabled = Obs.is_enabled () in
     let t0 = if enabled then Obs.Clock.now_us () else 0. in
     c.feed_us <- 0.;
-    let n = String.length s in
-    let i = ref 0 in
-    while !i < n && c.mode = Lines do
-      match String.index_from_opt s !i '\n' with
-      | Some j ->
-          complete_line c (String.sub s !i (j - !i));
-          i := j + 1
-      | None ->
-          partial_line c (String.sub s !i (n - !i));
-          i := n
+    let stop = off + len in
+    let i = ref off in
+    while !i < stop && c.mode = Lines do
+      let j = Ingest.find_newline s !i stop in
+      if j >= 0 then begin
+        complete_slice c s !i (j - !i);
+        i := j + 1
+      end
+      else begin
+        partial_slice c s !i (stop - !i);
+        i := stop
+      end
     done;
     flush_chunk c;
     if enabled && c.mode = Lines then begin
       let parse_us = Obs.Clock.now_us () -. t0 -. c.feed_us in
       if parse_us >= 0. then
         Obs.Metrics.observe h_stage_parse (int_of_float (parse_us *. 1e3))
-    end
+    end;
+    flush_slab c
   end
+
+let on_bytes c s = on_bytes_str c s 0 (String.length s)
+
+(* Reading into one reusable [Bytes.t] and scanning it in place is
+   sound: nothing past this call retains a reference into the block —
+   [Ingest.scan_line] copies what it keeps, and so do the partial-line
+   buffer and the error records. *)
+let on_bytes_raw c b off len =
+  if off < 0 || len < 0 || off + len > Bytes.length b then
+    invalid_arg "Conn.on_bytes_raw";
+  on_bytes_str c (Bytes.unsafe_to_string b) off len
 
 let on_eof c =
   (match c.mode with
@@ -246,20 +291,24 @@ let on_eof c =
         let line = Buffer.contents c.buf in
         Buffer.clear c.buf;
         c.nlines <- c.nlines + 1;
-        process_line c line;
+        process_slice c line 0 (String.length line);
         flush_chunk c
       end;
       let ids =
         Hashtbl.fold (fun id () acc -> id :: acc) c.touched []
         |> List.sort compare
       in
-      List.iter (fun id -> Daemon.dump c.daemon ~sink:(enqueue c) ~trace:id) ids;
-      enqueue c
-        (Daemon.summary c.daemon ~conn_events:c.conn_events
-           ~conn_errors:c.conn_errors)
+      List.iter
+        (fun id ->
+          Daemon.dump c.daemon ~buf:c.scratch ~trace:id;
+          if Buffer.length c.scratch >= slab_cap then flush_slab c)
+        ids;
+      Daemon.add_summary c.daemon c.scratch ~conn_events:c.conn_events
+        ~conn_errors:c.conn_errors
   | Http | Done -> ());
   c.mode <- Done;
-  c.draining <- true
+  c.draining <- true;
+  flush_slab c
 
 let wants_read c =
   (match c.mode with Lines -> true | Http | Done -> false)

@@ -20,11 +20,12 @@ type t = {
   mutable announced : int;
       (* trace ids below this had their pre-tripped verdicts emitted
          (or predate the daemon and are covered by EOF dumps) *)
-  mutable sink : string -> unit;
+  mutable out : Buffer.t option;
+      (* the feeding connection's scratch buffer, installed for the
+         duration of a [feed] — the retire hook renders into it
+         directly, so a chunk's records coalesce into one slab *)
   mutable render_us : float;  (* render time nested in the current feed *)
 }
-
-let drop (_ : string) = ()
 
 let props_by_monitor registry =
   let buckets = Array.make (Registry.nmonitors registry) [] in
@@ -46,18 +47,22 @@ let install_hook d =
   Engine.set_retire_hook (Session.engine d.session)
     (Some
        (fun ~trace ~monitor ~position ~tripped ->
-         let t0 = if Obs.is_enabled () then Obs.Clock.now_us () else 0. in
-         let tname = Ingest.name (Session.ingest d.session) trace in
-         List.iter
-           (fun prop ->
-             d.sink
-               (if tripped then
-                  Records.verdict_violation ~trace:tname ~prop ~position
-                    ~cause:"trip"
-                else Records.verdict_admissible ~trace:tname ~prop ~cause:"retire"))
-           d.props_of_monitor.(monitor);
-         if t0 > 0. then
-           d.render_us <- d.render_us +. (Obs.Clock.now_us () -. t0)))
+         match d.out with
+         | None -> ()
+         | Some buf ->
+             let t0 = if Obs.is_enabled () then Obs.Clock.now_us () else 0. in
+             let tname = Ingest.name (Session.ingest d.session) trace in
+             List.iter
+               (fun prop ->
+                 if tripped then
+                   Records.add_verdict_violation buf ~trace:tname ~prop
+                     ~position ~cause:"trip"
+                 else
+                   Records.add_verdict_admissible buf ~trace:tname ~prop
+                     ~cause:"retire")
+               d.props_of_monitor.(monitor);
+             if t0 > 0. then
+               d.render_us <- d.render_us +. (Obs.Clock.now_us () -. t0)))
 
 let adopt d session =
   d.session <- session;
@@ -74,7 +79,7 @@ let make session =
       props_of_monitor = [||];
       pretripped_props = [];
       announced = 0;
-      sink = drop;
+      out = None;
       render_us = 0.;
     }
   in
@@ -88,12 +93,12 @@ let ingest d = Session.ingest d.session
 let alphabet d = Registry.alphabet (registry d)
 let fingerprint d = Registry.fingerprint (registry d)
 
-let feed d ~sink (chunk : Ingest.chunk) =
+let feed d ~buf (chunk : Ingest.chunk) =
   let eng = Session.engine d.session in
-  d.sink <- sink;
+  d.out <- Some buf;
   d.render_us <- 0.;
   Fun.protect
-    ~finally:(fun () -> d.sink <- drop)
+    ~finally:(fun () -> d.out <- None)
     (fun () ->
       Engine.feed eng ~n:chunk.Ingest.len ~traces:chunk.Ingest.trace_ids
         ~symbols:chunk.Ingest.symbols ());
@@ -106,9 +111,8 @@ let feed d ~sink (chunk : Ingest.chunk) =
          let trace = Ingest.name ing id in
          List.iter
            (fun prop ->
-             sink
-               (Records.verdict_violation ~trace ~prop ~position:0
-                  ~cause:"pretripped"))
+             Records.add_verdict_violation buf ~trace ~prop ~position:0
+               ~cause:"pretripped")
            d.pretripped_props
        done;
        if t0 > 0. then
@@ -119,25 +123,26 @@ let feed d ~sink (chunk : Ingest.chunk) =
   if Obs.is_enabled () && d.render_us > 0. then
     Obs.Metrics.observe h_stage_render (int_of_float (d.render_us *. 1e3))
 
-let dump d ~sink ~trace =
+let dump d ~buf ~trace =
   let eng = Session.engine d.session in
   let ing = Session.ingest d.session in
   let tname = Ingest.name ing trace in
   List.iter
     (fun (p : Registry.prop) ->
-      sink
-        (match Engine.verdict eng ~trace ~monitor:p.monitor with
-        | Engine.Vacuous -> Records.verdict_vacuous ~trace:tname ~prop:p.name
-        | Engine.Admissible ->
-            Records.verdict_admissible ~trace:tname ~prop:p.name ~cause:"eof"
-        | Engine.Violation { position } ->
-            Records.verdict_violation ~trace:tname ~prop:p.name ~position
-              ~cause:"eof"))
+      match Engine.verdict eng ~trace ~monitor:p.monitor with
+      | Engine.Vacuous -> Records.add_verdict_vacuous buf ~trace:tname ~prop:p.name
+      | Engine.Admissible ->
+          Records.add_verdict_admissible buf ~trace:tname ~prop:p.name
+            ~cause:"eof"
+      | Engine.Violation { position } ->
+          Records.add_verdict_violation buf ~trace:tname ~prop:p.name ~position
+            ~cause:"eof")
     (Registry.props (registry d))
 
-let summary d ~conn_events ~conn_errors =
+let add_summary d buf ~conn_events ~conn_errors =
   let eng = Session.engine d.session in
-  Records.summary ~traces:(Engine.ntraces eng) ~events:(Engine.events eng)
+  Records.add_summary buf ~traces:(Engine.ntraces eng)
+    ~events:(Engine.events eng)
     ~props:(Registry.nprops (registry d))
     ~monitors:(Engine.nmonitors eng) ~tripped:(Engine.tripped eng)
     ~retired_admissible:(Engine.retired_admissible eng)

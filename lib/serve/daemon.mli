@@ -34,19 +34,21 @@ val ingest : t -> Sl_runtime.Ingest.t
 val alphabet : t -> int
 val fingerprint : t -> string
 
-val feed : t -> sink:(string -> unit) -> Sl_runtime.Ingest.chunk -> unit
-(** Feed one chunk through the engine with [sink] receiving the NDJSON
-    verdict records it causes (trips, admissible retirements, and
-    pre-tripped announcements for traces materialized by this chunk).
-    The sink is installed only for the duration of the call. *)
+val feed : t -> buf:Buffer.t -> Sl_runtime.Ingest.chunk -> unit
+(** Feed one chunk through the engine, appending the NDJSON verdict
+    records it causes (trips, admissible retirements, and pre-tripped
+    announcements for traces materialized by this chunk) to [buf] — the
+    caller's reusable scratch buffer, so a whole chunk's records
+    coalesce into one output slab. The buffer is installed as the hook's
+    target only for the duration of the call. *)
 
-val dump : t -> sink:(string -> unit) -> trace:int -> unit
-(** Emit the current verdict of every property on [trace] (cause
-    ["eof"]) — the connection-close dump that squares the served stream
-    with the offline {!Sl_runtime.Verdict} report. *)
+val dump : t -> buf:Buffer.t -> trace:int -> unit
+(** Append the current verdict of every property on [trace] (cause
+    ["eof"]) to [buf] — the connection-close dump that squares the
+    served stream with the offline {!Sl_runtime.Verdict} report. *)
 
-val summary : t -> conn_events:int -> conn_errors:int -> string
-(** The per-connection EOF summary record over the engine-global
+val add_summary : t -> Buffer.t -> conn_events:int -> conn_errors:int -> unit
+(** Append the per-connection EOF summary record over the engine-global
     counters. *)
 
 val swap_session : t -> Sl_runtime.Session.t -> unit

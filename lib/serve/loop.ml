@@ -200,7 +200,9 @@ let run cfg =
     | n ->
         Obs.Metrics.add m_bytes_in n;
         let errs0 = Conn.errors cl.conn in
-        Conn.on_bytes cl.conn (Bytes.sub_string rbuf 0 n);
+        (* zero-copy: the connection scans [rbuf] in place and retains
+           nothing, so the next read may reuse it *)
+        Conn.on_bytes_raw cl.conn rbuf 0 n;
         Obs.Metrics.add m_conn_errors (Conn.errors cl.conn - errs0)
     | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
     | exception Unix.Unix_error ((ECONNRESET | EPIPE), _, _) -> cl.dead <- true

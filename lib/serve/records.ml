@@ -1,8 +1,13 @@
 (* NDJSON record rendering. Hand-rolled like Verdict.to_json — no JSON
-   dependency; fixed field order keeps the bytes stable. *)
+   dependency; fixed field order keeps the bytes stable.
 
-let escape s =
-  let buf = Buffer.create (String.length s) in
+   The [add_*] functions append straight into a caller's buffer — the
+   serving hot path renders a whole chunk's records into one reusable
+   per-connection scratch buffer instead of allocating a string per
+   record. The string renderers below are thin wrappers over them, so
+   there is exactly one source of truth for every record's bytes. *)
+
+let add_escape buf s =
   String.iter
     (fun ch ->
       match ch with
@@ -11,51 +16,110 @@ let escape s =
       | ch when Char.code ch < 0x20 ->
           Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code ch))
       | ch -> Buffer.add_char buf ch)
-    s;
+    s
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  add_escape buf s;
+  Buffer.contents buf
+
+let add_int buf n = Buffer.add_string buf (string_of_int n)
+
+let add_hello buf ~version ~props ~monitors ~fingerprint =
+  Buffer.add_string buf
+    "{\"type\": \"hello\", \"schema\": \"sl-monitor-report/1\", \
+     \"version\": \"";
+  add_escape buf version;
+  Buffer.add_string buf "\", \"props\": ";
+  add_int buf props;
+  Buffer.add_string buf ", \"monitors\": ";
+  add_int buf monitors;
+  Buffer.add_string buf ", \"fingerprint\": \"";
+  add_escape buf fingerprint;
+  Buffer.add_string buf "\"}\n"
+
+let add_verdict_head buf ~trace ~prop =
+  Buffer.add_string buf "{\"type\": \"verdict\", \"trace\": \"";
+  add_escape buf trace;
+  Buffer.add_string buf "\", \"prop\": \"";
+  add_escape buf prop;
+  Buffer.add_string buf "\", \"verdict\": \""
+
+let add_verdict_violation buf ~trace ~prop ~position ~cause =
+  add_verdict_head buf ~trace ~prop;
+  Buffer.add_string buf "violation\", \"position\": ";
+  add_int buf position;
+  Buffer.add_string buf ", \"cause\": \"";
+  Buffer.add_string buf cause;
+  Buffer.add_string buf "\"}\n"
+
+let add_verdict_admissible buf ~trace ~prop ~cause =
+  add_verdict_head buf ~trace ~prop;
+  Buffer.add_string buf "admissible\", \"cause\": \"";
+  Buffer.add_string buf cause;
+  Buffer.add_string buf "\"}\n"
+
+let add_verdict_vacuous buf ~trace ~prop =
+  add_verdict_head buf ~trace ~prop;
+  Buffer.add_string buf "vacuous\", \"cause\": \"eof\"}\n"
+
+let add_error buf ~line ~trace ~reason =
+  Buffer.add_string buf "{\"type\": \"error\", \"line\": ";
+  add_int buf line;
+  (match trace with
+  | Some t ->
+      Buffer.add_string buf ", \"trace\": \"";
+      add_escape buf t;
+      Buffer.add_string buf "\""
+  | None -> ());
+  Buffer.add_string buf ", \"reason\": \"";
+  add_escape buf reason;
+  Buffer.add_string buf "\"}\n"
+
+let add_summary buf ~traces ~events ~props ~monitors ~tripped
+    ~retired_admissible ~live ~conn_events ~conn_errors =
+  Buffer.add_string buf "{\"type\": \"summary\", \"traces\": ";
+  add_int buf traces;
+  Buffer.add_string buf ", \"events\": ";
+  add_int buf events;
+  Buffer.add_string buf ", \"props\": ";
+  add_int buf props;
+  Buffer.add_string buf ", \"monitors\": ";
+  add_int buf monitors;
+  Buffer.add_string buf ", \"tripped\": ";
+  add_int buf tripped;
+  Buffer.add_string buf ", \"retired_admissible\": ";
+  add_int buf retired_admissible;
+  Buffer.add_string buf ", \"live\": ";
+  add_int buf live;
+  Buffer.add_string buf ", \"conn_events\": ";
+  add_int buf conn_events;
+  Buffer.add_string buf ", \"conn_errors\": ";
+  add_int buf conn_errors;
+  Buffer.add_string buf "}\n"
+
+let render add =
+  let buf = Buffer.create 128 in
+  add buf;
   Buffer.contents buf
 
 let hello ~version ~props ~monitors ~fingerprint =
-  Printf.sprintf
-    "{\"type\": \"hello\", \"schema\": \"sl-monitor-report/1\", \
-     \"version\": \"%s\", \"props\": %d, \"monitors\": %d, \
-     \"fingerprint\": \"%s\"}\n"
-    (escape version) props monitors (escape fingerprint)
+  render (fun buf -> add_hello buf ~version ~props ~monitors ~fingerprint)
 
 let verdict_violation ~trace ~prop ~position ~cause =
-  Printf.sprintf
-    "{\"type\": \"verdict\", \"trace\": \"%s\", \"prop\": \"%s\", \
-     \"verdict\": \"violation\", \"position\": %d, \"cause\": \"%s\"}\n"
-    (escape trace) (escape prop) position cause
+  render (fun buf -> add_verdict_violation buf ~trace ~prop ~position ~cause)
 
 let verdict_admissible ~trace ~prop ~cause =
-  Printf.sprintf
-    "{\"type\": \"verdict\", \"trace\": \"%s\", \"prop\": \"%s\", \
-     \"verdict\": \"admissible\", \"cause\": \"%s\"}\n"
-    (escape trace) (escape prop) cause
+  render (fun buf -> add_verdict_admissible buf ~trace ~prop ~cause)
 
 let verdict_vacuous ~trace ~prop =
-  Printf.sprintf
-    "{\"type\": \"verdict\", \"trace\": \"%s\", \"prop\": \"%s\", \
-     \"verdict\": \"vacuous\", \"cause\": \"eof\"}\n"
-    (escape trace) (escape prop)
+  render (fun buf -> add_verdict_vacuous buf ~trace ~prop)
 
 let error ~line ~trace ~reason =
-  match trace with
-  | Some t ->
-      Printf.sprintf
-        "{\"type\": \"error\", \"line\": %d, \"trace\": \"%s\", \
-         \"reason\": \"%s\"}\n"
-        line (escape t) (escape reason)
-  | None ->
-      Printf.sprintf
-        "{\"type\": \"error\", \"line\": %d, \"reason\": \"%s\"}\n" line
-        (escape reason)
+  render (fun buf -> add_error buf ~line ~trace ~reason)
 
 let summary ~traces ~events ~props ~monitors ~tripped ~retired_admissible
     ~live ~conn_events ~conn_errors =
-  Printf.sprintf
-    "{\"type\": \"summary\", \"traces\": %d, \"events\": %d, \"props\": \
-     %d, \"monitors\": %d, \"tripped\": %d, \"retired_admissible\": %d, \
-     \"live\": %d, \"conn_events\": %d, \"conn_errors\": %d}\n"
-    traces events props monitors tripped retired_admissible live conn_events
-    conn_errors
+  render (fun buf ->
+      add_summary buf ~traces ~events ~props ~monitors ~tripped
+        ~retired_admissible ~live ~conn_events ~conn_errors)

@@ -18,6 +18,37 @@
 val escape : string -> string
 (** JSON string-body escaping (quotes, backslashes, control bytes). *)
 
+(** {1 Buffer renderers}
+
+    Each [add_*] appends the exact bytes its string counterpart returns
+    into the caller's buffer — the serving hot path renders a whole
+    chunk's records into one reusable scratch buffer and hands the
+    output queue a single coalesced slab. The string renderers are
+    wrappers over these, so the two can never diverge. *)
+
+val add_escape : Buffer.t -> string -> unit
+
+val add_hello :
+  Buffer.t -> version:string -> props:int -> monitors:int ->
+  fingerprint:string -> unit
+
+val add_verdict_violation :
+  Buffer.t -> trace:string -> prop:string -> position:int -> cause:string ->
+  unit
+
+val add_verdict_admissible :
+  Buffer.t -> trace:string -> prop:string -> cause:string -> unit
+
+val add_verdict_vacuous : Buffer.t -> trace:string -> prop:string -> unit
+
+val add_error :
+  Buffer.t -> line:int -> trace:string option -> reason:string -> unit
+
+val add_summary :
+  Buffer.t -> traces:int -> events:int -> props:int -> monitors:int ->
+  tripped:int -> retired_admissible:int -> live:int -> conn_events:int ->
+  conn_errors:int -> unit
+
 val hello :
   version:string -> props:int -> monitors:int -> fingerprint:string ->
   string

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_PR*.json trajectory files bench by bench.
+
+Usage: bench_diff.py BASELINE.json CURRENT.json [--threshold PCT]
+
+Reads the "results" arrays of both files (the line-per-record JSON the
+bench harness writes), matches benches by name, and flags every bench
+whose ns/run regressed by more than the threshold (default 10%).
+
+Warn-only by design: microbench noise on a shared CI container would
+make a hard gate flaky, so the exit code is always 0 — the report is
+for the human reading the CI log, the byte-identity checks above it
+are the gates.
+"""
+
+import json
+import sys
+
+
+def read_results(path):
+    with open(path) as f:
+        doc = json.load(f)
+    out = {}
+    for rec in doc.get("results", []):
+        name, ns = rec.get("name"), rec.get("ns_per_run")
+        if isinstance(name, str) and isinstance(ns, (int, float)):
+            out[name] = float(ns)
+    return out
+
+
+def main():
+    args = [a for a in sys.argv[1:] if not a.startswith("--")]
+    threshold = 10.0
+    for a in sys.argv[1:]:
+        if a.startswith("--threshold"):
+            threshold = float(a.split("=", 1)[1] if "=" in a else args.pop())
+    if len(args) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 0  # warn-only: never fail the pipeline, even on misuse
+    base_path, cur_path = args
+    try:
+        base, cur = read_results(base_path), read_results(cur_path)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench-diff: cannot read inputs: {e} (skipping)")
+        return 0
+    shared = sorted(set(base) & set(cur))
+    if not shared:
+        print(f"bench-diff: no shared benches between {base_path} and {cur_path}")
+        return 0
+    regressions, improvements = [], []
+    for name in shared:
+        if base[name] <= 0.0:
+            continue
+        delta = (cur[name] - base[name]) / base[name] * 100.0
+        if delta > threshold:
+            regressions.append((delta, name))
+        elif delta < -threshold:
+            improvements.append((delta, name))
+    print(
+        f"bench-diff: {cur_path} vs {base_path}: {len(shared)} shared benches, "
+        f"{len(regressions)} regressed >{threshold:.0f}%, "
+        f"{len(improvements)} improved >{threshold:.0f}%"
+    )
+    for delta, name in sorted(regressions, reverse=True):
+        print(f"  REGRESSION {name}: {base[name]:.1f} -> {cur[name]:.1f} ns/run (+{delta:.1f}%)")
+    for delta, name in sorted(improvements):
+        print(f"  improved   {name}: {base[name]:.1f} -> {cur[name]:.1f} ns/run ({delta:.1f}%)")
+    if regressions:
+        print("bench-diff: warn-only — regressions above are not a CI failure")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

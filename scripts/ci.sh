@@ -419,5 +419,11 @@ for j in 1 4; do
 done
 rm -rf "$servedir"
 
-# Bench smoke + perf trajectory.
+# Bench smoke + perf trajectory, then the warn-only regression report
+# against the previous PR's tracked trajectory (microbench noise on a
+# shared container makes a hard gate flaky; the byte-identity checks
+# above are the gates).
 dune exec bench/main.exe -- bench json
+if [ -f BENCH_PR9.json ] && [ -f BENCH_PR10.json ]; then
+  python3 scripts/bench_diff.py BENCH_PR9.json BENCH_PR10.json || true
+fi

@@ -226,7 +226,27 @@ let test_parse_line () =
   check "extra fields" true
     (match Ingest.parse_line "t1 1 2" with `Malformed _ -> true | _ -> false);
   check "negative symbol" true
-    (match Ingest.parse_line "t1 -1" with `Malformed _ -> true | _ -> false)
+    (match Ingest.parse_line "t1 -1" with `Malformed _ -> true | _ -> false);
+  (* symbols are strict decimal: everything int_of_string_opt would
+     additionally accept is a protocol error, with a structured reason *)
+  check "hex radix prefix rejected" true
+    (Ingest.parse_line "t1 0x10"
+    = `Malformed (Some "t1", "symbol \"0x10\" is not an integer"));
+  check "binary radix prefix rejected" true
+    (Ingest.parse_line "t1 0b1"
+    = `Malformed (Some "t1", "symbol \"0b1\" is not an integer"));
+  check "underscore separator rejected" true
+    (Ingest.parse_line "t1 1_000"
+    = `Malformed (Some "t1", "symbol \"1_000\" is not an integer"));
+  check "leading plus rejected" true
+    (Ingest.parse_line "t1 +5"
+    = `Malformed (Some "t1", "symbol \"+5\" is not an integer"));
+  check "overflow is garbage, not wraparound" true
+    (match Ingest.parse_line "t1 99999999999999999999" with
+    | `Malformed (Some "t1", _) -> true
+    | _ -> false);
+  check "leading zeros are plain decimal" true
+    (Ingest.parse_line "t1 007" = `Event ("t1", 7))
 
 let drive_ingest ?(chunk_size = 3) ~alphabet lines =
   let ing = Ingest.create () in
@@ -270,6 +290,174 @@ let test_ingest_chunks () =
   Alcotest.(check (list (option string)))
     "error trace ids" [ Some "bad"; Some "a" ]
     (List.map (fun (_, t, _) -> t) errors)
+
+(* --- Zero-copy scanner vs the reference parser ---
+
+   The scanner must be byte-for-byte the reference reader: same events
+   in order, same interner contents, same structured errors with the
+   same 1-based line numbers — no matter where the read-block
+   boundaries fall. *)
+
+(* [input_line] semantics over a raw byte stream: segments between
+   newlines, plus an unterminated final segment. *)
+let lines_of_stream s =
+  let n = String.length s in
+  let lines = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    let j = try String.index_from s !i '\n' with Not_found -> n in
+    lines := String.sub s !i (j - !i) :: !lines;
+    i := j + 1
+  done;
+  List.rev !lines
+
+let drive_reference ~alphabet s =
+  let ing, events, errors =
+    drive_ingest ~chunk_size:3 ~alphabet (lines_of_stream s)
+  in
+  (Array.to_list (Ingest.names ing), events, errors)
+
+(* Scan [s] as two blocks split at byte [k] (the straddled line, if
+   any, takes the carry path). *)
+let drive_scanner ~alphabet s k =
+  let ing = Ingest.create () in
+  let events = ref [] in
+  let errors = ref [] in
+  let sc =
+    Ingest.scanner ~chunk_size:3 ~alphabet ing
+      ~on_chunk:(fun c ->
+        for j = 0 to c.Ingest.len - 1 do
+          events := (c.Ingest.trace_ids.(j), c.Ingest.symbols.(j)) :: !events
+        done)
+      ~on_error:(fun e ->
+        errors := (e.Ingest.e_line, e.Ingest.e_trace, e.Ingest.e_reason)
+                  :: !errors)
+  in
+  Ingest.scan_string sc s 0 k;
+  Ingest.scan_string sc s k (String.length s - k);
+  Ingest.scan_eof sc;
+  (Array.to_list (Ingest.names ing), List.rev !events, List.rev !errors)
+
+(* A deterministic pin first (easier to debug than the QCheck shrink):
+   the test_ingest_chunks fixture as one byte stream, split mid-line. *)
+let test_scanner_boundaries () =
+  let s = "a 0\nb 1\na 1\n# note\nb 0\nbad\na 9\na 0" in
+  let reference = drive_reference ~alphabet:2 s in
+  for k = 0 to String.length s do
+    let scanned = drive_scanner ~alphabet:2 s k in
+    check (Printf.sprintf "split at %d" k) true (scanned = reference)
+  done;
+  (* the pinned expectations themselves, via the scanner *)
+  let names, events, errors = drive_scanner ~alphabet:2 s 5 in
+  Alcotest.(check (list string)) "names first-seen" [ "a"; "b" ] names;
+  Alcotest.(check (list (pair int int)))
+    "events" [ (0, 0); (1, 1); (0, 1); (1, 0); (0, 0) ] events;
+  Alcotest.(check (list int)) "error lines" [ 6; 7 ]
+    (List.map (fun (l, _, _) -> l) errors);
+  Alcotest.(check (list (option string)))
+    "error traces" [ Some "bad"; Some "a" ]
+    (List.map (fun (_, t, _) -> t) errors)
+
+(* Hostile line pool: blank, comments, \r line endings, radix prefixes,
+   negatives, out-of-alphabet, overflow, extra fields, long tokens. *)
+let hostile_pool =
+  [| "a 0"; "b 1"; "a 1"; "  b \t 0 "; ""; "   "; "\t"; "# comment";
+     "#a 1"; "bad"; "t 0x10"; "t 0b1"; "t 1_000"; "t +5"; "t -1"; "t 9";
+     "t 99999999999999999999"; "a 0 1"; "long-trace-id-0123456789 1";
+     "a 0\r"; "c\r"; "new-trace-every-time 1" |]
+
+let prop_scanner_equals_reference =
+  QCheck.Test.make
+    ~name:"zero-copy scanner = reference parser (every split, jobs 1 = 4)"
+    ~count:30
+    QCheck.(
+      pair (list_of_size Gen.(0 -- 12) (int_range 0 (Array.length hostile_pool - 1)))
+        bool)
+    (fun (picks, trailing_nl) ->
+      let lines = List.map (fun i -> hostile_pool.(i)) picks in
+      let s = String.concat "\n" lines ^ if trailing_nl then "\n" else "" in
+      let reference = drive_reference ~alphabet:2 s in
+      let ok = ref true in
+      for k = 0 to String.length s do
+        if drive_scanner ~alphabet:2 s k <> reference then ok := false
+      done;
+      (* the same stream through the full pipeline at jobs 1 and 4:
+         engine verdicts must not depend on the pool width *)
+      let monitors =
+        [| Packed_dfa.of_buchi (Lexamples.automaton Lexamples.p1);
+           Packed_dfa.of_buchi (Lexamples.automaton Lexamples.p2) |]
+      in
+      let run_engine jobs =
+        let eng = Engine.create ~jobs ~threshold:1 ~monitors () in
+        let ing = Ingest.create () in
+        let sc =
+          Ingest.scanner ~chunk_size:3 ~alphabet:2 ing
+            ~on_chunk:(fun c ->
+              Engine.feed eng ~n:c.Ingest.len ~traces:c.Ingest.trace_ids
+                ~symbols:c.Ingest.symbols ())
+            ~on_error:(fun _ -> ())
+        in
+        Ingest.scan_string sc s 0 (String.length s);
+        Ingest.scan_eof sc;
+        (eng, Ingest.ntraces ing)
+      in
+      let eng1, nt1 = run_engine 1 in
+      let eng4, nt4 = run_engine 4 in
+      if nt1 <> nt4 then ok := false;
+      for tr = 0 to nt1 - 1 do
+        for m = 0 to Array.length monitors - 1 do
+          if
+            Engine.verdict eng1 ~trace:tr ~monitor:m
+            <> Engine.verdict eng4 ~trace:tr ~monitor:m
+          then ok := false
+        done
+      done;
+      !ok)
+
+(* --- Fused transition megatable --- *)
+
+(* [Packed_dfa.fuse] is pure layout: every entry must decode to exactly
+   the per-monitor [step]/[can_trip]/[is_accepting] triple the engine's
+   inner loop previously read separately. *)
+let test_fuse_megatable () =
+  let monitors =
+    Array.append
+      (Array.map
+         (fun f -> Packed_dfa.of_buchi (Lexamples.automaton f))
+         [| Lexamples.p0; Lexamples.p1; Lexamples.p2; Lexamples.p4 |])
+      (Array.init 4 (fun i ->
+           Packed_dfa.of_buchi
+             (Buchi.random ~seed:(1000 + i) ~alphabet:2 ~nstates:(3 + i)
+                ~density:0.2 ~accepting_fraction:0.4 ())))
+  in
+  let mega, base = Packed_dfa.fuse monitors in
+  let total =
+    Array.fold_left (fun acc pd -> acc + Array.length pd.Packed_dfa.trans) 0
+      monitors
+  in
+  check_int "megatable size" total (Array.length mega);
+  Array.iteri
+    (fun m pd ->
+      let alphabet = pd.Packed_dfa.alphabet in
+      for q = 0 to pd.Packed_dfa.nstates - 1 do
+        for s = 0 to alphabet - 1 do
+          let e = mega.(base.(m) + (q * alphabet) + s) in
+          let s' = Packed_dfa.step pd q s in
+          check_int (Printf.sprintf "m%d q%d s%d successor" m q s) s'
+            (e lsr 2);
+          check (Printf.sprintf "m%d q%d s%d can_trip bit" m q s)
+            (Packed_dfa.can_trip pd s')
+            (e land 2 <> 0);
+          check (Printf.sprintf "m%d q%d s%d accepting bit" m q s)
+            (Packed_dfa.is_accepting pd s')
+            (e land 1 <> 0)
+        done
+      done)
+    monitors;
+  (* degenerate shapes: no monitors at all *)
+  let mega0, base0 = Packed_dfa.fuse [||] in
+  check_int "empty fuse mega" 1 (Array.length mega0);
+  check_int "empty fuse base" 1 (Array.length base0)
 
 (* --- End to end: ingestion -> engine -> verdict report --- *)
 
@@ -358,4 +546,8 @@ let tests =
       test_registry_malformed_lines;
     Alcotest.test_case "trace-line parser" `Quick test_parse_line;
     Alcotest.test_case "chunked ingestion" `Quick test_ingest_chunks;
+    Alcotest.test_case "zero-copy scanner boundaries" `Quick
+      test_scanner_boundaries;
+    QCheck_alcotest.to_alcotest prop_scanner_equals_reference;
+    Alcotest.test_case "fused megatable layout" `Quick test_fuse_megatable;
     Alcotest.test_case "end-to-end report" `Quick test_end_to_end_report ]
